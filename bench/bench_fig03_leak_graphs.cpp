@@ -1,0 +1,113 @@
+// Figure 3 — peer leakage in a non-CGN vs a CGN AS: isolated leaking
+// relationships (home NATs, the paper's Comcast example) vs clustered
+// leaking relationships (carrier NAT, the paper's FastWEB example).
+//
+// This bench runs the full campaign, then renders the leakage graph of the
+// AS with the most isolated components and the AS with the largest cluster.
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <set>
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace cgn;
+  bench::print_header("Figure 3", "isolated vs clustered leakage graphs");
+
+  bench::World world;
+  const auto& bt = world.bt_result();
+  const auto& data = world.crawl_data();
+
+  // Leaker -> set of leaked internal IPs, grouped per AS.
+  struct AsGraph {
+    std::map<netcore::Ipv4Address, std::set<netcore::Ipv4Address>> by_leaker;
+  };
+  std::map<netcore::Asn, AsGraph> graphs;
+  for (const auto& e : data.leaks()) {
+    auto asn = world.internet().routes.origin_of(e.leaker.endpoint.address);
+    if (!asn) continue;
+    graphs[*asn].by_leaker[e.leaker.endpoint.address].insert(
+        e.internal.endpoint.address);
+  }
+
+  // Pick the "Comcast analogue": most leakers in an AS the detector did NOT
+  // flag; and the "FastWEB analogue": the flagged AS with the biggest
+  // cluster.
+  auto multi_leaked = [](const AsGraph& g) {
+    std::map<netcore::Ipv4Address, int> count;
+    for (const auto& [leaker, internals] : g.by_leaker)
+      for (const auto& internal : internals) ++count[internal];
+    std::size_t multi = 0;
+    for (const auto& [internal, n] : count) multi += n > 1 ? 1 : 0;
+    return multi;
+  };
+  netcore::Asn isolated_as = 0, clustered_as = 0;
+  std::size_t best_isolated = 0, best_cluster = 0;
+  for (const auto& [asn, v] : bt.per_as) {
+    std::size_t cluster = 0;
+    for (const auto& c : v.largest)
+      cluster = std::max(cluster, c.public_ips + c.internal_ips);
+    auto git = graphs.find(asn);
+    if (git == graphs.end()) continue;
+    std::size_t leakers = git->second.by_leaker.size();
+    // The Comcast-style example: plenty of leaking peers, but every internal
+    // peer leaked by exactly one external IP.
+    if (multi_leaked(git->second) == 0 && leakers > best_isolated) {
+      best_isolated = leakers;
+      isolated_as = asn;
+    }
+    if (v.cgn_positive && cluster > best_cluster) {
+      best_cluster = cluster;
+      clustered_as = asn;
+    }
+  }
+
+  auto render = [&](netcore::Asn asn, const char* label) {
+    std::cout << label << " — AS" << asn << " ("
+              << (world.internet().truth_has_cgn(asn) ? "deploys CGN"
+                                                      : "no CGN")
+              << ", ground truth)\n";
+    if (!graphs.contains(asn)) {
+      std::cout << "  (no leaks observed)\n";
+      return;
+    }
+    const auto& g = graphs.at(asn);
+    std::size_t shown = 0;
+    std::size_t multi = 0;
+    std::map<netcore::Ipv4Address, int> leakers_per_internal;
+    for (const auto& [leaker, internals] : g.by_leaker)
+      for (const auto& internal : internals) ++leakers_per_internal[internal];
+    for (const auto& [internal, n] : leakers_per_internal)
+      if (n > 1) ++multi;
+    for (const auto& [leaker, internals] : g.by_leaker) {
+      if (shown++ >= 8) break;
+      std::cout << "  " << leaker.to_string() << " --> {";
+      std::size_t k = 0;
+      for (const auto& internal : internals) {
+        if (k++) std::cout << ", ";
+        if (k > 5) {
+          std::cout << "...";
+          break;
+        }
+        std::cout << internal.to_string();
+      }
+      std::cout << "}\n";
+    }
+    if (g.by_leaker.size() > shown)
+      std::cout << "  ... (" << g.by_leaker.size() - shown
+                << " more leaking peers)\n";
+    std::cout << "  leaking peers: " << g.by_leaker.size()
+              << ", internal peers leaked by >1 external IP: " << multi
+              << "\n\n";
+  };
+
+  render(isolated_as, "(a) Isolated leaking relationships");
+  render(clustered_as, "(b) Clustered leaking relationships");
+
+  std::cout << "Paper: in AS7922 (Comcast) every internal peer is leaked by\n"
+               "exactly one external peer; in AS12874 (FastWEB) many peers\n"
+               "behind different external IPs leak overlapping internal\n"
+               "peers — the NAT-pooling signature of a CGN.\n";
+  return 0;
+}

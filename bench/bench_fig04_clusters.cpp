@@ -1,0 +1,40 @@
+// Figure 4 — size of the largest connected cluster of leaking and internal
+// BitTorrent peers per AS, per reserved range, with the 5x5 detection
+// boundary.
+#include <iostream>
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace cgn;
+  bench::print_header("Figure 4", "largest leakage cluster per AS and range");
+
+  bench::World world;
+  const auto& bt = world.bt_result();
+
+  static const char* names[] = {"192X", "172X", "10X", "100X"};
+  for (int r = 0; r < netcore::kReservedRangeCount; ++r) {
+    std::vector<report::ScatterPoint> points;
+    std::size_t beyond = 0;
+    for (const auto& [asn, v] : bt.per_as) {
+      const auto& c = v.largest[static_cast<std::size_t>(r)];
+      if (c.public_ips == 0 && c.internal_ips == 0) continue;
+      points.push_back({static_cast<double>(c.public_ips),
+                        static_cast<double>(c.internal_ips)});
+      if (c.public_ips >= 5 && c.internal_ips >= 5) ++beyond;
+    }
+    std::cout << names[r] << " — " << points.size()
+              << " ASes with clusters, " << beyond
+              << " beyond the 5x5 detection boundary\n";
+    std::cout << "  x: leaking peers [unique IPs], y: internal peers "
+                 "[unique IPs]\n";
+    report::scatter_loglog(std::cout, points, 5, 5, 56, 14);
+    std::cout << "\n";
+  }
+
+  std::cout << "Paper shape: only a handful of ASes show large clusters in\n"
+               "192X (home-NAT space), while 10X and 100X host most of the\n"
+               "large clusters; detection requires >=5 public and >=5\n"
+               "internal IPs in the largest cluster.\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 5 — Netalyzr CGN-candidate ASes: sessions with IPcpe != IPpub vs
+// unique /24s of IPcpe, per reserved range, with the 0.4*N diversity cutoff.
+#include <iostream>
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace cgn;
+  bench::print_header("Figure 5", "Netalyzr candidate sessions vs /24 diversity");
+
+  bench::World world;
+  const auto& nz = world.nz_result();
+
+  static const char* names[] = {"192X", "172X", "10X", "100X"};
+  for (int r = 0; r < netcore::kReservedRangeCount; ++r) {
+    std::vector<report::ScatterPoint> points;
+    for (const auto& [asn, v] : nz.per_as) {
+      if (v.cellular) continue;
+      const auto& p = v.fig5[static_cast<std::size_t>(r)];
+      if (p.candidate_sessions == 0) continue;
+      points.push_back({static_cast<double>(p.candidate_sessions),
+                        static_cast<double>(p.unique_slash24)});
+    }
+    std::cout << names[r] << " — " << points.size() << " candidate ASes\n"
+              << "  x: sessions with IPcpe != IPpub, y: unique /24s of "
+                 "IPcpe\n"
+              << "  (detection: N >= 10 sessions and >= 0.4*N unique /24s)\n";
+    report::scatter_loglog(std::cout, points, 10, 4, 56, 12);
+    std::cout << "\n";
+  }
+
+  std::size_t covered = 0, positive = 0;
+  for (const auto& [asn, v] : nz.per_as) {
+    if (v.cellular || !v.covered) continue;
+    ++covered;
+    if (v.cgn_positive) ++positive;
+  }
+  std::cout << "Non-cellular ASes covered: " << covered
+            << ", CGN-positive: " << positive << " ("
+            << report::pct(covered ? static_cast<double>(positive) / covered
+                                   : 0)
+            << ") [paper: ~15% of covered ASes]\n"
+            << "Shape: 192X is sparsely used by CGNs; candidate ASes with\n"
+               "high /24 diversity cluster in 10X/100X above the cutoff.\n";
+  return 0;
+}

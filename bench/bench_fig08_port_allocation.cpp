@@ -1,0 +1,114 @@
+// Figure 8 — port allocation properties: (a) ephemeral port space seen by
+// the server for OS-preserved vs CGN-renumbered flows, (b) port preservation
+// per CPE model, (c) a chunk-based allocation example.
+#include <algorithm>
+#include <iostream>
+
+#include "analysis/port_analysis.hpp"
+#include "analysis/stats.hpp"
+#include "bench/common.hpp"
+
+int main() {
+  using namespace cgn;
+  bench::print_header("Figure 8", "port allocation properties");
+
+  bench::World world;
+  (void)world.sessions();
+  auto cgn_ases = world.coverage().cgn_positive_ases();
+  analysis::PortAnalyzer analyzer;
+  auto ports = analyzer.analyze(world.sessions(), world.internet().routes,
+                                cgn_ases);
+
+  // (a) Port histograms.
+  auto to_doubles = [](const std::vector<std::uint16_t>& v) {
+    std::vector<double> out(v.begin(), v.end());
+    return out;
+  };
+  auto preserved = analysis::histogram(
+      to_doubles(ports.ports_preserved_sessions), 0, 65536, 16);
+  auto translated = analysis::histogram(
+      to_doubles(ports.ports_translated_sessions), 0, 65536, 16);
+  std::cout << "(a) Source ports observed by the echo server (16 bins of "
+               "4096 ports)\n    bin:   ";
+  for (int b = 0; b < 16; ++b) std::cout << b % 10 << "    ";
+  auto render = [](const std::vector<std::size_t>& h, const char* label) {
+    std::size_t total = 0, max = 1;
+    for (auto c : h) {
+      total += c;
+      max = std::max(max, c);
+    }
+    std::cout << "\n    " << label << " ";
+    for (auto c : h) {
+      int height = static_cast<int>(9.0 * static_cast<double>(c) /
+                                    static_cast<double>(max));
+      std::cout << height << "    ";
+    }
+    std::cout << " (n=" << total << ")";
+  };
+  render(preserved, "OS ephemeral ports   ");
+  render(translated, "CGN port renumbering ");
+  std::cout << "\n    [paper: preserved flows pile up in the OS ephemeral "
+               "band (32768-61000);\n     CGN-translated flows spread over "
+               "the whole 0-65535 space]\n";
+
+  // (b) Port preservation per CPE model (non-CGN sessions).
+  std::cout << "\n(b) Port preservation per CPE model (UPnP-identified, "
+               "non-CGN sessions)\n";
+  report::Table table({"CPE model", "sessions", "port-preserving", "%"});
+  std::size_t total_sessions = 0, total_preserving = 0;
+  for (const auto& [model, counts] : ports.per_cpe_model) {
+    table.add_row({model, report::count(counts.first),
+                   report::count(counts.second),
+                   report::pct(counts.first
+                                   ? static_cast<double>(counts.second) /
+                                         static_cast<double>(counts.first)
+                                   : 0)});
+    total_sessions += counts.first;
+    total_preserving += counts.second;
+  }
+  table.print(std::cout);
+  std::cout << "  overall: "
+            << report::pct(total_sessions
+                               ? static_cast<double>(total_preserving) /
+                                     static_cast<double>(total_sessions)
+                               : 0)
+            << " of sessions preserve ports [paper: 92%]\n";
+
+  // (c) Chunk-based allocation example: pick the AS with the clearest chunks.
+  const analysis::AsPortProfile* chunked = nullptr;
+  for (const auto& [asn, p] : ports.per_as)
+    if (p.chunk_based && (!chunked || p.sessions > chunked->sessions))
+      chunked = &p;
+  std::cout << "\n(c) Chunk-based random allocation example";
+  if (chunked) {
+    std::cout << " — AS" << chunked->asn
+              << ", estimated chunk size: " << chunked->chunk_size_estimate
+              << " ports\n";
+    int shown = 0;
+    for (const auto& s : world.sessions()) {
+      if (shown >= 12) break;
+      auto asn = s.ip_pub
+                     ? world.internet().routes.origin_of(*s.ip_pub).value_or(
+                           s.asn)
+                     : s.asn;
+      if (asn != chunked->asn || s.tcp_flows.size() < 5) continue;
+      auto strategy = analysis::classify_session_ports(s.tcp_flows);
+      if (strategy != analysis::PortStrategy::random) continue;
+      auto [lo, hi] = std::minmax_element(
+          s.tcp_flows.begin(), s.tcp_flows.end(),
+          [](const auto& a, const auto& b) {
+            return a.observed.port < b.observed.port;
+          });
+      std::cout << "  session " << shown + 1 << ": ports in ["
+                << lo->observed.port << ", " << hi->observed.port
+                << "]  span=" << hi->observed.port - lo->observed.port << "\n";
+      ++shown;
+    }
+    std::cout << "  [paper: AS12978 confines each subscriber's random ports "
+                 "to a 4K chunk]\n";
+  } else {
+    std::cout << "\n  (no chunk-allocating AS detected at this scale; "
+                 "increase CGN_BENCH_SCALE)\n";
+  }
+  return 0;
+}

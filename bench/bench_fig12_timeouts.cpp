@@ -1,0 +1,51 @@
+// Figure 12 — UDP mapping timeouts of CPEs and CGNs (boxplots: cellular CGN
+// per AS, non-cellular CGN per AS, CPE per session).
+#include <iostream>
+
+#include "analysis/path_analysis.hpp"
+#include "analysis/stats.hpp"
+#include "bench/common.hpp"
+
+int main() {
+  using namespace cgn;
+  bench::print_header("Figure 12", "UDP mapping timeouts of CPEs and CGNs");
+
+  bench::World world;
+  (void)world.sessions(/*enum_fraction=*/0.35, /*stun_fraction=*/0.0);
+  auto cgn_ases = world.coverage().cgn_positive_ases();
+  auto result = analysis::PathAnalyzer().analyze(
+      world.sessions(), world.internet().routes, cgn_ases);
+
+  auto show = [](const char* label, const std::vector<double>& v) {
+    if (v.empty()) {
+      std::cout << "  " << label << ": (no data)\n";
+      return;
+    }
+    auto b = analysis::boxplot(v);
+    report::boxplot_line(std::cout, label, b.min, b.q1, b.median, b.q3, b.max,
+                         b.n);
+  };
+  show("cellular CGN (per AS)", result.fig12.cellular_cgn_per_as);
+  show("non-cellular CGN (per AS)", result.fig12.noncellular_cgn_per_as);
+  show("CPE (per session)", result.fig12.cpe_per_session);
+
+  // Share of detected CGNs expiring within about a minute (§6.5 text: 74%
+  // of detected NATs expire idle UDP state after one minute or less; the
+  // 10 s probing granularity biases measurements up by one step).
+  std::vector<double> cgns = result.fig12.cellular_cgn_per_as;
+  cgns.insert(cgns.end(), result.fig12.noncellular_cgn_per_as.begin(),
+              result.fig12.noncellular_cgn_per_as.end());
+  std::size_t fast = 0;
+  for (double t : cgns) fast += t <= 70.0 ? 1 : 0;
+  if (!cgns.empty())
+    std::cout << "\nCGN ASes with timeout <= ~1 minute: "
+              << report::pct(static_cast<double>(fast) /
+                             static_cast<double>(cgns.size()))
+              << " [paper: 74% of detected NATs expire within <= 1 min]\n";
+
+  std::cout << "\nPaper shape: cellular CGNs median ~65 s; non-cellular\n"
+               "CGNs median ~35 s with higher variability; CPEs\n"
+               "predominantly 65 s. Values range 10-200 s, measured at\n"
+               "10 s granularity, capped at 200 s by the test budget.\n";
+  return 0;
+}

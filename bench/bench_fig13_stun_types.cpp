@@ -1,0 +1,64 @@
+// Figure 13 — STUN results: (a) mapping types of CPE NATs per session,
+// (b) most permissive mapping type per CGN-positive AS.
+#include <iostream>
+
+#include "analysis/path_analysis.hpp"
+#include "bench/common.hpp"
+
+int main() {
+  using namespace cgn;
+  bench::print_header("Figure 13", "STUN mapping types: CPEs vs CGNs");
+
+  bench::World world;
+  (void)world.sessions(/*enum_fraction=*/0.0, /*stun_fraction=*/0.6);
+  auto cgn_ases = world.coverage().cgn_positive_ases();
+  auto result = analysis::StunAnalyzer().analyze(
+      world.sessions(), world.internet().routes, cgn_ases);
+
+  static const stun::StunType kOrder[] = {
+      stun::StunType::symmetric, stun::StunType::port_address_restricted,
+      stun::StunType::address_restricted, stun::StunType::full_cone};
+
+  auto render = [&](const std::map<stun::StunType, std::size_t>& counts,
+                    const char* label) {
+    double total = 0;
+    for (auto t : kOrder) {
+      auto it = counts.find(t);
+      total += it == counts.end() ? 0 : static_cast<double>(it->second);
+    }
+    std::cout << label << " (n=" << static_cast<std::size_t>(total) << ")\n";
+    if (total == 0) {
+      std::cout << "  (no data)\n\n";
+      return;
+    }
+    std::vector<std::string> labels;
+    std::vector<double> values;
+    for (auto t : kOrder) {
+      auto it = counts.find(t);
+      labels.push_back(std::string(stun::to_string(t)));
+      values.push_back(100.0 *
+                       (it == counts.end() ? 0.0
+                                           : static_cast<double>(it->second)) /
+                       total);
+    }
+    report::bar_chart(std::cout, labels, values, 40, "%");
+    std::cout << "\n";
+  };
+
+  render(result.cpe_sessions,
+         "(a) CPE NAT mapping types, per session (non-cellular, no CGN)");
+  render(result.noncellular_cgn_ases,
+         "(b1) Most permissive type per non-cellular CGN AS");
+  render(result.cellular_cgn_ases,
+         "(b2) Most permissive type per cellular CGN AS");
+
+  std::cout << "Sessions with STUN results: " << result.sessions_used
+            << " across " << result.ases << " ASes (" << result.cgn_ases
+            << " CGN) [paper: 20K sessions, 720 ASes, 170 CGN]\n\n"
+            << "Paper shape: <2% of CPE sessions are symmetric; 11% of\n"
+               "non-cellular CGN ASes are symmetric even in their most\n"
+               "permissive session; cellular CGNs are bimodal (~40%\n"
+               "symmetric, ~20% full cone) — CGNs are markedly more\n"
+               "restrictive than home NATs.\n";
+  return 0;
+}

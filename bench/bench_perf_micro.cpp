@@ -1,0 +1,139 @@
+// Micro-benchmarks (google-benchmark) for the core data-path operations:
+// NAT translation, LPM routing lookups, DHT closest-k selection, end-to-end
+// packet delivery, and leakage-graph clustering.
+#include <benchmark/benchmark.h>
+
+#include "analysis/union_find.hpp"
+#include "dht/dht_node.hpp"
+#include "nat/nat_device.hpp"
+#include "netcore/routing_table.hpp"
+#include "sim/network.hpp"
+
+namespace {
+
+using namespace cgn;
+
+std::vector<netcore::Ipv4Address> make_pool(int n) {
+  std::vector<netcore::Ipv4Address> pool;
+  for (int i = 0; i < n; ++i)
+    pool.push_back(netcore::Ipv4Address(16, 1, 0, static_cast<std::uint8_t>(i)));
+  return pool;
+}
+
+void BM_NatOutboundTranslate(benchmark::State& state) {
+  nat::NatConfig cfg;
+  cfg.port_allocation = static_cast<nat::PortAllocation>(state.range(0));
+  cfg.udp_timeout_s = 1e9;
+  nat::NatDevice nat(cfg, make_pool(8), sim::Rng(1));
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    sim::Packet p = sim::Packet::udp(
+        {netcore::Ipv4Address(10, 0, static_cast<std::uint8_t>(i >> 8),
+                              static_cast<std::uint8_t>(i)),
+         static_cast<std::uint16_t>(2000 + (i % 50000))},
+        {netcore::Ipv4Address(16, 9, 9, 9), 80});
+    benchmark::DoNotOptimize(nat.process_outbound(p, 0.0));
+    i = (i + 1) % 30000;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NatOutboundTranslate)
+    ->Arg(0)  // preservation
+    ->Arg(1)  // sequential
+    ->Arg(2); // random
+
+void BM_NatMappingHit(benchmark::State& state) {
+  nat::NatConfig cfg;
+  cfg.udp_timeout_s = 1e9;
+  nat::NatDevice nat(cfg, make_pool(1), sim::Rng(1));
+  sim::Packet out = sim::Packet::udp({netcore::Ipv4Address(10, 0, 0, 1), 5000},
+                                     {netcore::Ipv4Address(16, 9, 9, 9), 80});
+  (void)nat.process_outbound(out, 0.0);
+  for (auto _ : state) {
+    sim::Packet in = sim::Packet::udp({netcore::Ipv4Address(16, 9, 9, 9), 80},
+                                      out.src);
+    benchmark::DoNotOptimize(nat.process_inbound(in, 1.0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NatMappingHit);
+
+void BM_RoutingLookup(benchmark::State& state) {
+  netcore::RoutingTable rt;
+  sim::Rng rng(7);
+  for (int i = 0; i < state.range(0); ++i) {
+    auto addr = static_cast<std::uint32_t>(rng.uniform(0x10000000, 0x1FFFFFFF));
+    rt.announce(netcore::Ipv4Prefix(netcore::Ipv4Address(addr), 20),
+                static_cast<netcore::Asn>(i));
+  }
+  std::uint32_t x = 0x10000000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt.lookup(netcore::Ipv4Address(x)));
+    x = 0x10000000 | ((x + 16411) & 0x0FFFFFFF);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RoutingLookup)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_EndToEndDelivery(benchmark::State& state) {
+  sim::Clock clock;
+  sim::Network net(clock);
+  sim::NodeId ra = net.add_router_chain(net.root(), 4, "a");
+  sim::NodeId host = net.add_node(ra, "host");
+  netcore::Ipv4Address addr_a(16, 0, 0, 1), addr_b(16, 0, 0, 2);
+  net.add_local_address(host, addr_a);
+  net.register_address(addr_a, host, net.root());
+  sim::NodeId rb = net.add_router_chain(net.root(), 4, "b");
+  sim::NodeId server = net.add_node(rb, "server");
+  net.add_local_address(server, addr_b);
+  net.register_address(addr_b, server, net.root());
+  for (auto _ : state) {
+    auto r = net.send(sim::Packet::udp({addr_a, 1}, {addr_b, 2}), host);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * 10);  // ~10 hops per send
+  state.SetLabel("10-hop path");
+}
+BENCHMARK(BM_EndToEndDelivery);
+
+void BM_DhtClosestK(benchmark::State& state) {
+  sim::Rng rng(3);
+  dht::DhtNodeConfig cfg;
+  cfg.table_capacity = static_cast<std::size_t>(state.range(0));
+  sim::Clock clock;
+  sim::Network net(clock);
+  sim::NodeId host = net.add_node(net.root(), "h");
+  dht::DhtNode node(dht::NodeId160::random(rng),
+                    {netcore::Ipv4Address(16, 0, 0, 1), 6881}, host, cfg,
+                    sim::Rng(4));
+  for (int i = 0; i < state.range(0); ++i)
+    node.learn_contact({dht::NodeId160::random(rng),
+                        {netcore::Ipv4Address(16, 1, 0, 1),
+                         static_cast<std::uint16_t>(1000 + i)}});
+  for (auto _ : state) {
+    // all_contacts + the closest-k path exercised via handle() would need
+    // packets; measure table scans directly.
+    benchmark::DoNotOptimize(node.all_contacts());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DhtClosestK)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_UnionFindClustering(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  sim::Rng rng(5);
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  for (std::size_t i = 0; i < n * 2; ++i)
+    edges.emplace_back(rng.index(n), rng.index(n));
+  for (auto _ : state) {
+    analysis::UnionFind uf(n);
+    for (auto [a, b] : edges) uf.unite(a, b);
+    benchmark::DoNotOptimize(uf.find(0));
+  }
+  state.SetItemsProcessed(state.iterations() * edges.size());
+}
+BENCHMARK(BM_UnionFindClustering)->Arg(1000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,40 @@
+// Table 2 — BitTorrent DHT crawl summary: peers queried vs learned, unique
+// IPs, AS footprint, and bt_ping responders.
+#include <iostream>
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace cgn;
+  bench::print_header("Table 2", "BitTorrent DHT crawl summary");
+
+  bench::World world;
+  const auto& bt = world.bt_result();
+  const auto& s = bt.summary;
+
+  report::Table table({"", "Peers", "Unique IPs", "ASes"});
+  table.add_row({"Queried", report::count(s.queried_peers),
+                 report::count(s.queried_unique_ips),
+                 report::count(s.queried_ases)});
+  table.add_row({"Learned", report::count(s.learned_peers),
+                 report::count(s.learned_unique_ips),
+                 report::count(s.learned_ases)});
+  table.print(std::cout);
+
+  std::cout << "\nbt_ping responders: " << report::count(s.responding_peers)
+            << " peers, " << report::count(s.responding_unique_ips)
+            << " unique IPs ("
+            << report::pct(s.learned_peers
+                               ? static_cast<double>(s.responding_peers) /
+                                     static_cast<double>(s.learned_peers)
+                               : 0)
+            << " of learned)\n";
+  std::cout << "\nPaper: queried 21.5M peers / 15.5M IPs / 18.8K ASes;\n"
+               "       learned 192.0M peers / 62.1M IPs / 26.7K ASes;\n"
+               "       107.7M peers (56%) and 36.7M IPs responded to "
+               "bt_ping.\n"
+               "Shape: learned >> queried; learned AS footprint > queried "
+               "AS footprint;\n       roughly half the learned peers "
+               "respond.\n";
+  return 0;
+}

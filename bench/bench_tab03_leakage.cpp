@@ -1,0 +1,34 @@
+// Table 3 — peers reported via reserved IP addresses (internal peers), and
+// the peers that leaked them, per reserved address range.
+#include <iostream>
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace cgn;
+  bench::print_header("Table 3", "internal peers and leaking peers per range");
+
+  bench::World world;
+  const auto& bt = world.bt_result();
+
+  report::Table table({"Range", "Internal total", "Internal IPs",
+                       "Leaking total", "Leaking IPs", "Leaking ASes"});
+  static const char* names[] = {"192X", "172X", "10X", "100X"};
+  for (int r = 0; r < netcore::kReservedRangeCount; ++r) {
+    const auto& row = bt.per_range[static_cast<std::size_t>(r)];
+    table.add_row({names[r], report::count(row.internal_total),
+                   report::count(row.internal_unique_ips),
+                   report::count(row.leaking_total),
+                   report::count(row.leaking_unique_ips),
+                   report::count(row.leaking_ases)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nPaper (internal total / leaking total / leaking ASes):\n"
+               "  192X 565.9K / 186.8K / 4.1K    172X 336.6K / 52.9K / 1.0K\n"
+               "  10X  1.3M   / 283.9K / 2.2K    100X 1.5M   / 192.0K / 723\n"
+               "Shape: 10X and 100X dominate the internal-peer counts (CGN\n"
+               "ranges); 192X leaks spread over the most ASes (home NATs\n"
+               "everywhere) while 100X concentrates in the fewest.\n";
+  return 0;
+}

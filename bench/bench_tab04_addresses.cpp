@@ -1,0 +1,64 @@
+// Table 4 — address ranges seen for the device IP (IPdev) and the CPE's
+// external IP (IPcpe), cellular vs non-cellular, plus the per-AS cellular
+// assignment split reported in §4.2.
+#include <iostream>
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace cgn;
+  bench::print_header("Table 4", "device and CPE address classification");
+
+  bench::World world;
+  const auto& nz = world.nz_result();
+  const auto& t = nz.table4;
+
+  report::Table table({"Address space", "Cellular IPdev", "Non-cell IPdev",
+                       "Non-cell IPcpe", "[paper cell/dev/cpe]"});
+  static const char* paper[] = {"0.2% / 92.4% / 8.9%", "2.5% / 1.1% / 0.8%",
+                                "58.7% / 6.2% / 4.8%", "17.3% / 0.0% / 1.9%",
+                                "12.5% / 0.0% / 0.0%", "5.7% / 0.0% / 83.0%",
+                                "3.0% / 0.3% / 0.5%"};
+  for (int r = 0; r < analysis::kTable4Rows; ++r) {
+    auto row = static_cast<analysis::Table4Row>(r);
+    table.add_row({std::string(analysis::to_string(row)),
+                   report::pct(t.cellular_dev.fraction(row)),
+                   report::pct(t.noncellular_dev.fraction(row)),
+                   report::pct(t.noncellular_cpe.fraction(row)), paper[r]});
+  }
+  table.add_row({"(N)", report::count(t.cellular_dev.n),
+                 report::count(t.noncellular_dev.n),
+                 report::count(t.noncellular_cpe.n),
+                 "8.6K / 567.5K / 229.8K"});
+  table.print(std::cout);
+
+  // §4.2 cellular per-AS assignment split.
+  std::size_t internal_only = 0, public_only = 0, mixed = 0, covered = 0;
+  for (const auto& [asn, v] : nz.per_as) {
+    if (!v.cellular || !v.covered) continue;
+    ++covered;
+    switch (v.assignment) {
+      case analysis::CellularAssignment::internal_only: ++internal_only; break;
+      case analysis::CellularAssignment::public_only: ++public_only; break;
+      case analysis::CellularAssignment::mixed: ++mixed; break;
+    }
+  }
+  std::cout << "\nCellular ASes by device-address assignment (N=" << covered
+            << "):\n";
+  auto frac = [&](std::size_t n) {
+    return covered ? static_cast<double>(n) / static_cast<double>(covered)
+                   : 0.0;
+  };
+  report::Table cell({"assignment", "measured", "paper"});
+  cell.add_row({"exclusively internal", report::pct(frac(internal_only)),
+                "63.8%"});
+  cell.add_row({"exclusively public", report::pct(frac(public_only)), "6.0%"});
+  cell.add_row({"mixed", report::pct(frac(mixed)), "30.3%"});
+  cell.print(std::cout);
+
+  std::cout << "\nShape: cellular devices sit in 10X/100X (and some routable-"
+               "used-\ninternally space); non-cellular devices sit almost\n"
+               "entirely in 192X; 83% of CPE externals are routed matches\n"
+               "(single home NAT), the rest betray layered translation.\n";
+  return 0;
+}

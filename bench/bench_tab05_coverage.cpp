@@ -1,0 +1,59 @@
+// Table 5 — coverage and detection rates of both methods across the three
+// AS populations (all routed, PBL eyeballs, APNIC eyeballs).
+#include <iostream>
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace cgn;
+  bench::print_header("Table 5", "coverage and CGN detection rates");
+
+  bench::World world;
+  const auto& cov = world.coverage();
+  const auto& t = cov.table5;
+
+  auto cell_text = [](const analysis::CoverageCell& c, std::size_t pop) {
+    std::string out = report::count(c.covered) + " (" +
+                      report::pct(pop ? static_cast<double>(c.covered) /
+                                            static_cast<double>(pop)
+                                      : 0) +
+                      ") cov, " + report::count(c.positive) + " (" +
+                      report::pct(c.covered
+                                      ? static_cast<double>(c.positive) /
+                                            static_cast<double>(c.covered)
+                                      : 0) +
+                      ") pos";
+    return out;
+  };
+
+  report::Table table({"method", "routed ASes", "eyeball (PBL)",
+                       "eyeball (APNIC)"});
+  auto add = [&](const char* name,
+                 const std::array<analysis::CoverageCell,
+                                  analysis::kPopulationCount>& row) {
+    table.add_row({name, cell_text(row[0], t.population[0]),
+                   cell_text(row[1], t.population[1]),
+                   cell_text(row[2], t.population[2])});
+  };
+  table.add_row({"population", report::count(t.population[0]),
+                 report::count(t.population[1]),
+                 report::count(t.population[2])});
+  add("BitTorrent", t.bittorrent);
+  add("Netalyzr non-cellular", t.netalyzr_noncellular);
+  add("BitTorrent u Netalyzr", t.combined);
+  add("Netalyzr cellular", t.netalyzr_cellular);
+  table.print(std::cout);
+
+  std::cout <<
+      "\nPaper (covered%, positive-of-covered%):\n"
+      "                       routed        PBL           APNIC\n"
+      "  BitTorrent           5.2%,  9.4%   57.7%, 10.8%  59.6%, 11.2%\n"
+      "  Netalyzr non-cell    2.6%, 14.3%   29.8%, 17.4%  30.4%, 18.7%\n"
+      "  BT u Netalyzr        6.0%, 13.3%   61.7%, 17.1%  63.6%, 18.0%\n"
+      "  Netalyzr cellular    0.4%, 94.0%    6.0%, 92.6%   5.6%, 94.2%\n"
+      "Shape: vantage points cover an order of magnitude more eyeball ASes\n"
+      "than routed ASes; Netalyzr detects at a higher *rate*, BitTorrent\n"
+      "covers more ASes; cellular penetration is >90%; 17-18%% of eyeball\n"
+      "ASes are CGN-positive overall.\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Table 7 — detection rate of the TTL-driven NAT enumeration test:
+// address mismatch vs whether an expiring mapping was found.
+#include <iostream>
+
+#include "analysis/path_analysis.hpp"
+#include "bench/common.hpp"
+
+int main() {
+  using namespace cgn;
+  bench::print_header("Table 7", "TTL-driven NAT enumeration detection rates");
+
+  bench::World world;
+  (void)world.sessions(/*enum_fraction=*/0.35, /*stun_fraction=*/0.0);
+  auto cgn_ases = world.coverage().cgn_positive_ases();
+  auto result = analysis::PathAnalyzer().analyze(
+      world.sessions(), world.internet().routes, cgn_ases);
+
+  const auto& t = result.table7;
+  auto pct_of = [&](std::uint64_t n) {
+    return report::pct(t.total() ? static_cast<double>(n) /
+                                       static_cast<double>(t.total())
+                                 : 0);
+  };
+  report::Table table({"", "NAT detected (mapping expired)",
+                       "No NAT detected", "[paper]"});
+  table.add_row({"IP address mismatch", pct_of(t.mismatch_detected),
+                 pct_of(t.mismatch_undetected), "67.6% / 30.9%"});
+  table.add_row({"IP address match", pct_of(t.match_detected),
+                 pct_of(t.match_undetected), "0.5% / 0.9%"});
+  table.print(std::cout);
+
+  std::cout << "\nEnumeration sessions analysed: " << result.enum_sessions_used
+            << " across " << result.enum_ases << " ASes (" << result.enum_cgn_ases
+            << " CGN-positive) [paper: 18K sessions, 608 ASes, 259 CGN]\n"
+            << "Shape: most translated sessions also show an expiring\n"
+               "mapping; the no-detection cell is NATs with timeouts beyond\n"
+               "the 200 s probing budget; stateful middleboxes without\n"
+               "translation are rare (<1%).\n";
+  return 0;
+}

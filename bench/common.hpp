@@ -1,0 +1,128 @@
+// Shared scaffolding for the per-table/per-figure bench binaries.
+//
+// Every bench builds a synthetic Internet, runs the measurement campaign it
+// needs (BitTorrent crawl and/or Netalyzr sessions), and prints the paper's
+// rows/series next to the measured ones. CGN_BENCH_SCALE scales the AS
+// universe (default 0.4 for quick runs; 1.0 reproduces the calibrated
+// full-size world used in EXPERIMENTS.md), CGN_BENCH_SEED the world seed.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "analysis/bt_detector.hpp"
+#include "analysis/coverage.hpp"
+#include "analysis/netalyzr_detector.hpp"
+#include "report/report.hpp"
+#include "scenario/campaign.hpp"
+#include "scenario/internet.hpp"
+
+namespace cgn::bench {
+
+inline double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::atof(v) : fallback;
+}
+
+inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  return v ? static_cast<std::uint64_t>(std::atoll(v)) : fallback;
+}
+
+/// The calibrated world, scaled. Scale 1.0 is a 1:8 model of the paper's
+/// Internet (6,500 routed ASes, 360 PBL eyeballs, ...).
+inline scenario::InternetConfig scaled_config() {
+  double scale = env_double("CGN_BENCH_SCALE", 0.4);
+  scenario::InternetConfig cfg;
+  cfg.seed = env_u64("CGN_BENCH_SEED", 42);
+  auto scaled = [scale](std::size_t n) {
+    return std::max<std::size_t>(8, static_cast<std::size_t>(
+                                        static_cast<double>(n) * scale));
+  };
+  cfg.routed_ases = scaled(cfg.routed_ases);
+  cfg.pbl_eyeballs = scaled(cfg.pbl_eyeballs);
+  cfg.apnic_eyeballs = scaled(cfg.apnic_eyeballs);
+  cfg.cellular_ases = scaled(cfg.cellular_ases);
+  return cfg;
+}
+
+/// Lazily-run measurement campaign over one world.
+class World {
+ public:
+  World() : internet_(scenario::build_internet(scaled_config())) {}
+
+  [[nodiscard]] scenario::Internet& internet() { return *internet_; }
+
+  /// BitTorrent phase + crawl (+ detection), run once on demand.
+  const crawler::CrawlDataset& crawl_data() {
+    ensure_crawl();
+    return crawler_->dataset();
+  }
+  const analysis::BtDetectionResult& bt_result() {
+    ensure_crawl();
+    if (!bt_result_) {
+      bt_result_ = std::make_unique<analysis::BtDetectionResult>(
+          analysis::BtDetector().analyze(crawler_->dataset(),
+                                         internet_->routes));
+    }
+    return *bt_result_;
+  }
+
+  /// Netalyzr campaign (+ detection), run once on demand.
+  const std::vector<netalyzr::SessionResult>& sessions(
+      double enum_fraction = 0.0, double stun_fraction = 0.0) {
+    if (!sessions_run_) {
+      scenario::NetalyzrCampaignConfig cfg;
+      cfg.enum_fraction = enum_fraction;
+      cfg.stun_fraction = stun_fraction;
+      sessions_ = scenario::run_netalyzr_campaign(*internet_, cfg);
+      sessions_run_ = true;
+    }
+    return sessions_;
+  }
+  const analysis::NetalyzrDetectionResult& nz_result() {
+    if (!nz_result_) {
+      nz_result_ = std::make_unique<analysis::NetalyzrDetectionResult>(
+          analysis::NetalyzrDetector().analyze(sessions(), internet_->routes));
+    }
+    return *nz_result_;
+  }
+
+  /// Combined §5 coverage (triggers both campaigns).
+  const analysis::CoverageResult& coverage() {
+    if (!coverage_) {
+      coverage_ = std::make_unique<analysis::CoverageResult>(
+          analysis::combine_coverage(bt_result(), nz_result(),
+                                     internet_->registry));
+    }
+    return *coverage_;
+  }
+
+ private:
+  void ensure_crawl() {
+    if (!crawler_) {
+      scenario::run_bittorrent_phase(*internet_);
+      crawler_ = scenario::run_crawl_phase(*internet_);
+    }
+  }
+
+  std::unique_ptr<scenario::Internet> internet_;
+  std::unique_ptr<crawler::DhtCrawler> crawler_;
+  std::unique_ptr<analysis::BtDetectionResult> bt_result_;
+  std::vector<netalyzr::SessionResult> sessions_;
+  bool sessions_run_ = false;
+  std::unique_ptr<analysis::NetalyzrDetectionResult> nz_result_;
+  std::unique_ptr<analysis::CoverageResult> coverage_;
+};
+
+inline void print_header(const std::string& experiment,
+                         const std::string& title) {
+  std::cout << "\n=== " << experiment << ": " << title << " ===\n"
+            << "    (scale=" << env_double("CGN_BENCH_SCALE", 0.4)
+            << ", seed=" << env_u64("CGN_BENCH_SEED", 42)
+            << "; paper values in [brackets]; expect shape, not absolutes)\n\n";
+}
+
+}  // namespace cgn::bench

@@ -1,0 +1,87 @@
+// isp_dimensioning: a CGN dimensioning study. The paper's operators call
+// port-space sizing a "black art" and §7 flags 512-port chunks as scarily
+// small. This example sweeps per-subscriber chunk sizes and workload
+// intensities and measures flow-blocking rates and address-sharing ratios —
+// the trade-off an operator actually has to make.
+//
+//   ./build/examples/isp_dimensioning
+#include <iostream>
+
+#include "nat/nat_device.hpp"
+#include "report/report.hpp"
+#include "sim/rng.hpp"
+
+int main() {
+  using namespace cgn;
+  using netcore::Ipv4Address;
+
+  std::cout
+      << "CGN dimensioning sweep: one external IP, chunk-based random\n"
+         "allocation, subscribers opening concurrent flows (e.g. loading\n"
+         "complex web pages; dozens of connections each, cf. paper §6.2).\n\n";
+
+  report::Table table({"chunk size", "subscribers/IP", "flows/subscriber",
+                       "blocked flows", "verdict"});
+
+  static const std::uint32_t kChunks[] = {512, 1024, 2048, 4096, 8192};
+  static const int kFlows[] = {64, 256, 480, 600};
+
+  for (std::uint32_t chunk : kChunks) {
+    for (int flows : kFlows) {
+      nat::NatConfig cfg;
+      cfg.name = "cgn";
+      cfg.port_allocation = nat::PortAllocation::chunk_random;
+      cfg.chunk_size = chunk;
+      cfg.udp_timeout_s = 1e9;  // worst case: nothing expires during the burst
+      nat::NatDevice cgn(cfg, {Ipv4Address{16, 10, 0, 10}}, sim::Rng(11));
+
+      // Admit subscribers until the chunk pool is exhausted.
+      int subscribers = 0;
+      std::uint64_t blocked = 0, attempted = 0;
+      for (int s = 0;; ++s) {
+        Ipv4Address sub(10, 0, static_cast<std::uint8_t>(s >> 8),
+                        static_cast<std::uint8_t>(s & 0xFF));
+        // First flow decides admission (chunk assignment).
+        sim::Packet first = sim::Packet::udp(
+            {sub, 30000}, {Ipv4Address{16, 9, 9, 9}, 80});
+        if (cgn.process_outbound(first, 0.0) !=
+            sim::Middlebox::Verdict::forward)
+          break;  // no chunks left: subscriber cannot be admitted
+        ++subscribers;
+        ++attempted;
+        for (int f = 1; f < flows; ++f) {
+          sim::Packet p = sim::Packet::udp(
+              {sub, static_cast<std::uint16_t>(30000 + f)},
+              {Ipv4Address{16, 9, 9, 9},
+               static_cast<std::uint16_t>(80 + (f % 500))});
+          ++attempted;
+          if (cgn.process_outbound(p, 0.0) !=
+              sim::Middlebox::Verdict::forward)
+            ++blocked;
+        }
+        if (s > 4096) break;  // safety
+      }
+
+      double block_rate =
+          attempted ? static_cast<double>(blocked) /
+                          static_cast<double>(attempted)
+                    : 0.0;
+      const char* verdict = block_rate == 0.0          ? "ok"
+                            : block_rate < 0.01        ? "marginal"
+                                                       : "underprovisioned";
+      table.add_row({std::to_string(chunk), std::to_string(subscribers),
+                     std::to_string(flows), report::pct(block_rate), verdict});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nReading: a 512-port chunk multiplexes ~126 subscribers per\n"
+         "public IPv4 address but saturates under a single busy browsing\n"
+         "session (hundreds of concurrent flows); 4K chunks (the paper's\n"
+         "AS12978) keep blocking at zero for realistic workloads while\n"
+         "still sharing one address among ~15 subscribers. This is the\n"
+         "sharing-vs-usability dial the paper's survey respondents\n"
+         "described dimensioning by trial and error.\n";
+  return 0;
+}

@@ -1,0 +1,112 @@
+// p2p_connectivity: quantifies the paper's §7 implication — "CGNs rule out
+// peer-to-peer connectivity, complicating modern protocols such as WebRTC
+// that now need to rely on rendezvous servers" — by hole punching between
+// sampled subscriber pairs of a synthetic Internet and measuring how often
+// a relay (TURN-style) would be required, split by the NAT layering of the
+// two endpoints.
+//
+//   ./build/examples/p2p_connectivity [pairs]
+#include <cstdlib>
+#include <iostream>
+
+#include "report/report.hpp"
+#include "scenario/internet.hpp"
+#include "traversal/hole_punch.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cgn;
+  std::size_t target_pairs =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 400;
+
+  scenario::InternetConfig cfg;
+  cfg.seed = 99;
+  cfg.routed_ases = 1000;
+  cfg.pbl_eyeballs = 60;
+  cfg.apnic_eyeballs = 64;
+  cfg.cellular_ases = 8;
+  auto internet = scenario::build_internet(cfg);
+
+  // A rendezvous server at the core.
+  sim::NodeId rv_host = internet->net.add_node(internet->net.root(), "rv");
+  traversal::RendezvousServer rendezvous(
+      rv_host, netcore::Ipv4Address{16, 254, 0, 1});
+  rendezvous.install(internet->net);
+
+  // Collect subscriber endpoints, classified by their NAT layering.
+  enum class Kind { open_line, cpe_only, behind_cgn };
+  struct Candidate {
+    scenario::Subscriber* sub;
+    Kind kind;
+  };
+  std::vector<Candidate> candidates;
+  for (auto& isp : internet->isps) {
+    for (auto& sub : isp.subscribers) {
+      Kind kind = sub.behind_cgn ? Kind::behind_cgn
+                  : sub.cpe      ? Kind::cpe_only
+                                 : Kind::open_line;
+      candidates.push_back({&sub, kind});
+    }
+  }
+  std::cout << "Sampled " << candidates.size() << " subscriber lines from "
+            << internet->isps.size() << " ISPs.\n\n";
+
+  struct Bucket {
+    std::size_t attempts = 0;
+    std::size_t direct = 0;
+  };
+  Bucket matrix[3][3];
+  sim::Rng rng = internet->fork_rng();
+
+  std::uint64_t session = 1;
+  std::uint16_t port = 52000;
+  for (std::size_t i = 0; i < target_pairs; ++i) {
+    const Candidate& a = candidates[rng.index(candidates.size())];
+    const Candidate& b = candidates[rng.index(candidates.size())];
+    if (a.sub == b.sub) continue;
+    traversal::PunchPeer pa{a.sub->device,
+                            {a.sub->device_address, port}, a.sub->demux};
+    traversal::PunchPeer pb{b.sub->device,
+                            {b.sub->device_address,
+                             static_cast<std::uint16_t>(port + 1)},
+                            b.sub->demux};
+    auto result =
+        traversal::punch(internet->net, rendezvous, pa, pb, session++);
+    port = port >= 64000 ? 52000 : static_cast<std::uint16_t>(port + 2);
+
+    auto& cell = matrix[static_cast<int>(a.kind)][static_cast<int>(b.kind)];
+    auto& mirror = matrix[static_cast<int>(b.kind)][static_cast<int>(a.kind)];
+    ++cell.attempts;
+    if (&cell != &mirror) ++mirror.attempts;
+    if (result == traversal::PunchResult::direct_both) {
+      ++cell.direct;
+      if (&cell != &mirror) ++mirror.direct;
+    }
+    // Keep NAT state from piling up between attempts.
+    internet->clock.advance(400.0);
+  }
+
+  static const char* names[] = {"open line", "home NAT only", "behind CGN"};
+  report::Table table({"A \\ B", names[0], names[1], names[2]});
+  for (int r = 0; r < 3; ++r) {
+    std::vector<std::string> row{names[r]};
+    for (int c = 0; c < 3; ++c) {
+      const Bucket& cell = matrix[r][c];
+      row.push_back(cell.attempts == 0
+                        ? "-"
+                        : report::pct(static_cast<double>(cell.direct) /
+                                      static_cast<double>(cell.attempts)) +
+                              " of " + std::to_string(cell.attempts));
+    }
+    table.add_row(row);
+  }
+  std::cout << "Direct-connection success rate (UDP hole punching via a\n"
+               "rendezvous server; everything else needs a relay):\n\n";
+  table.print(std::cout);
+  std::cout
+      << "\nReading: pairs of ordinary home-NAT subscribers almost always\n"
+         "punch through; once one side sits behind a CGN the success rate\n"
+         "drops with the share of symmetric/port-restricted carrier NATs\n"
+         "(Figure 13), and CGN-to-CGN pairs fare worst — the paper's\n"
+         "WebRTC/gaming concern, quantified.\n";
+  return 0;
+}

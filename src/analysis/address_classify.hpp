@@ -1,0 +1,47 @@
+// Table 4's address taxonomy: private / unrouted / routed match /
+// routed mismatch, judged against the global routing table.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "netcore/ipv4.hpp"
+#include "netcore/routing_table.hpp"
+
+namespace cgn::analysis {
+
+enum class AddressClass : std::uint8_t {
+  private_range,    ///< one of the Table 1 reserved blocks
+  unrouted,         ///< nominally public but absent from the routing table
+  routed_match,     ///< routed and equal to the public address (no NAT)
+  routed_mismatch,  ///< routed but different from the public address
+};
+
+[[nodiscard]] inline std::string_view to_string(AddressClass c) noexcept {
+  switch (c) {
+    case AddressClass::private_range: return "private";
+    case AddressClass::unrouted: return "unrouted";
+    case AddressClass::routed_match: return "routed match";
+    case AddressClass::routed_mismatch: return "routed mismatch";
+  }
+  return "?";
+}
+
+/// Classifies a locally observed address against the server-observed public
+/// address, per §4.2.
+[[nodiscard]] inline AddressClass classify_address(
+    netcore::Ipv4Address local, std::optional<netcore::Ipv4Address> public_ip,
+    const netcore::RoutingTable& routes) {
+  if (netcore::is_reserved(local)) return AddressClass::private_range;
+  if (!routes.is_routed(local)) return AddressClass::unrouted;
+  if (public_ip && local == *public_ip) return AddressClass::routed_match;
+  return AddressClass::routed_mismatch;
+}
+
+/// True when the classification implies address translation on the path.
+[[nodiscard]] inline bool implies_translation(AddressClass c) noexcept {
+  return c != AddressClass::routed_match;
+}
+
+}  // namespace cgn::analysis

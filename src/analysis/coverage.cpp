@@ -1,0 +1,90 @@
+#include "analysis/coverage.hpp"
+
+namespace cgn::analysis {
+
+std::string_view to_string(Population p) noexcept {
+  switch (p) {
+    case Population::routed: return "routed ASes";
+    case Population::pbl_eyeball: return "eyeball ASes, PBL";
+    case Population::apnic_eyeball: return "eyeball ASes, APNIC";
+  }
+  return "?";
+}
+
+CoverageResult combine_coverage(const BtDetectionResult& bt,
+                                const NetalyzrDetectionResult& nz,
+                                const netcore::AsRegistry& registry) {
+  CoverageResult out;
+
+  for (const auto& [asn, v] : bt.per_as) {
+    CombinedVerdict& c = out.per_as[asn];
+    c.bt_covered = v.covered;
+    c.bt_positive = v.covered && v.cgn_positive;
+  }
+  for (const auto& [asn, v] : nz.per_as) {
+    CombinedVerdict& c = out.per_as[asn];
+    if (v.cellular) {
+      c.cell_covered = v.covered;
+      c.cell_positive = v.covered && v.cgn_positive;
+    } else {
+      c.nz_covered = v.covered;
+      c.nz_positive = v.covered && v.cgn_positive;
+    }
+  }
+
+  auto member = [](const netcore::AsInfo& info, Population p) {
+    switch (p) {
+      case Population::routed: return true;
+      case Population::pbl_eyeball: return info.pbl_eyeball;
+      case Population::apnic_eyeball: return info.apnic_eyeball;
+    }
+    return false;
+  };
+
+  for (const netcore::AsInfo& info : registry.all()) {
+    auto it = out.per_as.find(info.asn);
+    const CombinedVerdict* v = it == out.per_as.end() ? nullptr : &it->second;
+
+    for (int p = 0; p < kPopulationCount; ++p) {
+      auto pop = static_cast<Population>(p);
+      if (!member(info, pop)) continue;
+      auto idx = static_cast<std::size_t>(p);
+      ++out.table5.population[idx];
+      if (!v) continue;
+      if (v->bt_covered) {
+        ++out.table5.bittorrent[idx].covered;
+        if (v->bt_positive) ++out.table5.bittorrent[idx].positive;
+      }
+      if (v->nz_covered) {
+        ++out.table5.netalyzr_noncellular[idx].covered;
+        if (v->nz_positive) ++out.table5.netalyzr_noncellular[idx].positive;
+      }
+      if (v->covered()) {
+        ++out.table5.combined[idx].covered;
+        if (v->positive()) ++out.table5.combined[idx].positive;
+      }
+      if (v->cell_covered) {
+        ++out.table5.netalyzr_cellular[idx].covered;
+        if (v->cell_positive) ++out.table5.netalyzr_cellular[idx].positive;
+      }
+    }
+
+    // Figure 6 region rollups (PBL eyeball list, as in the paper's plot).
+    auto region = static_cast<std::size_t>(info.region);
+    if (info.pbl_eyeball && !info.cellular) {
+      ++out.regions.eyeball_total[region];
+      if (v && v->covered()) {
+        ++out.regions.eyeball_covered[region];
+        if (v->positive()) ++out.regions.eyeball_positive[region];
+      }
+    }
+    if (info.cellular && v && v->cell_covered) {
+      ++out.regions.cellular_covered[region];
+      if (v->cell_positive) ++out.regions.cellular_positive[region];
+    }
+  }
+
+  return out;
+}
+
+}  // namespace cgn::analysis

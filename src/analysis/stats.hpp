@@ -1,0 +1,78 @@
+// Small statistics helpers shared by the analysis passes: quantiles, modes,
+// boxplot summaries, histograms.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace cgn::analysis {
+
+/// Five-number summary for the Figure 12 style boxplots.
+struct BoxplotSummary {
+  double min = 0, q1 = 0, median = 0, q3 = 0, max = 0;
+  std::size_t n = 0;
+};
+
+/// Linear-interpolated quantile of an unsorted sample. Throws on empty input
+/// or q outside [0,1].
+[[nodiscard]] inline double quantile(std::vector<double> values, double q) {
+  if (values.empty()) throw std::invalid_argument("quantile of empty sample");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile out of range");
+  std::sort(values.begin(), values.end());
+  double pos = q * static_cast<double>(values.size() - 1);
+  auto lo = static_cast<std::size_t>(pos);
+  auto hi = std::min(lo + 1, values.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+[[nodiscard]] inline BoxplotSummary boxplot(const std::vector<double>& values) {
+  if (values.empty()) throw std::invalid_argument("boxplot of empty sample");
+  BoxplotSummary s;
+  s.n = values.size();
+  s.min = quantile(values, 0.0);
+  s.q1 = quantile(values, 0.25);
+  s.median = quantile(values, 0.5);
+  s.q3 = quantile(values, 0.75);
+  s.max = quantile(values, 1.0);
+  return s;
+}
+
+/// Most frequent value (smallest wins ties). Throws on empty input.
+template <typename T>
+[[nodiscard]] T mode(const std::vector<T>& values) {
+  if (values.empty()) throw std::invalid_argument("mode of empty sample");
+  std::map<T, std::size_t> counts;
+  for (const T& v : values) ++counts[v];
+  auto best = counts.begin();
+  for (auto it = counts.begin(); it != counts.end(); ++it)
+    if (it->second > best->second) best = it;
+  return best->first;
+}
+
+/// Fixed-bin histogram over [lo, hi); values outside are clamped into the
+/// first/last bin.
+[[nodiscard]] inline std::vector<std::size_t> histogram(
+    const std::vector<double>& values, double lo, double hi, int bins) {
+  if (bins <= 0 || hi <= lo) throw std::invalid_argument("bad histogram spec");
+  std::vector<std::size_t> out(static_cast<std::size_t>(bins), 0);
+  const double width = (hi - lo) / bins;
+  for (double v : values) {
+    auto idx = static_cast<long>((v - lo) / width);
+    idx = std::clamp(idx, 0L, static_cast<long>(bins - 1));
+    ++out[static_cast<std::size_t>(idx)];
+  }
+  return out;
+}
+
+/// Smallest power of two >= x (x >= 1).
+[[nodiscard]] inline std::uint32_t round_up_pow2(std::uint32_t x) {
+  std::uint32_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+}  // namespace cgn::analysis

@@ -1,0 +1,143 @@
+#include "crawler/dht_crawler.hpp"
+
+namespace cgn::crawler {
+
+DhtCrawler::DhtCrawler(sim::NodeId host, netcore::Endpoint local,
+                       CrawlConfig config, sim::Rng rng)
+    : host_(host), local_(local), config_(config), rng_(std::move(rng)),
+      id_(dht::NodeId160::random(rng_)) {}
+
+void DhtCrawler::install(sim::Network& net) {
+  net.set_receiver(host_, [this](sim::Network& n, const sim::Packet& p) {
+    handle(n, p);
+  });
+}
+
+void DhtCrawler::handle(sim::Network& net, const sim::Packet& pkt) {
+  const auto* msg = std::any_cast<dht::Message>(&pkt.payload);
+  if (!msg) return;
+  if (const auto* nodes = std::get_if<dht::NodesMsg>(msg)) {
+    if (nodes->tx == awaiting_tx_) reply_contacts_ = nodes->contacts;
+    return;
+  }
+  if (const auto* pong = std::get_if<dht::PongMsg>(msg)) {
+    if (pong->tx == awaiting_tx_) pong_tx_ = pong->tx;
+    return;
+  }
+  // The crawler participates in the DHT: answer pings so peers that learn
+  // about us can validate our reachability.
+  if (const auto* ping = std::get_if<dht::PingMsg>(msg)) {
+    sim::Packet reply = sim::Packet::udp(local_, pkt.src);
+    reply.payload = dht::Message{dht::PongMsg{ping->tx, id_}};
+    net.send(std::move(reply), host_);
+    return;
+  }
+  if (const auto* fn = std::get_if<dht::FindNodesMsg>(msg)) {
+    // Reply with an empty contact list: we harvest, we do not feed.
+    sim::Packet reply = sim::Packet::udp(local_, pkt.src);
+    reply.payload = dht::Message{dht::NodesMsg{fn->tx, id_, {}}};
+    net.send(std::move(reply), host_);
+    return;
+  }
+}
+
+std::optional<std::vector<dht::Contact>> DhtCrawler::query(
+    sim::Network& net, const dht::Contact& peer) {
+  std::uint64_t tx = next_tx_++;
+  awaiting_tx_ = tx;
+  reply_contacts_.reset();
+  dht::NodeId160 target = dht::NodeId160::random(rng_);
+  sim::Packet pkt = sim::Packet::udp(local_, peer.endpoint);
+  pkt.payload = dht::Message{dht::FindNodesMsg{tx, id_, target}};
+  ++stats_.find_nodes_sent;
+  net.send(std::move(pkt), host_);
+  awaiting_tx_ = 0;
+  if (reply_contacts_) ++stats_.find_nodes_answered;
+  return std::move(reply_contacts_);
+}
+
+void DhtCrawler::record_contacts(const dht::Contact& from,
+                                 const std::vector<dht::Contact>& contacts,
+                                 bool& saw_new_internal) {
+  for (const dht::Contact& c : contacts) {
+    bool fresh = !data_.was_learned(c);
+    data_.note_learned(c);
+    if (netcore::is_reserved(c.endpoint.address)) {
+      data_.note_leak(from, c);
+      if (fresh) saw_new_internal = true;
+    } else if (fresh && !enqueued_.contains(PeerKey{c})) {
+      // Publicly addressed peers join the crawl frontier.
+      enqueued_.insert(PeerKey{c});
+      frontier_.push_back(c);
+    }
+  }
+}
+
+void DhtCrawler::process_peer(sim::Network& net, const dht::Contact& peer) {
+  bool responded = false;
+  bool saw_internal = false;
+  for (int i = 0; i < config_.initial_queries; ++i) {
+    auto contacts = query(net, peer);
+    if (!contacts) continue;
+    responded = true;
+    record_contacts(peer, *contacts, saw_internal);
+  }
+  if (responded) data_.note_queried(peer);
+  if (saw_internal) ++stats_.peers_with_leaks;
+  // Leak-triggered batches: keep asking while fresh internal peers arrive.
+  int batches = 0;
+  while (saw_internal && batches < config_.max_leak_batches) {
+    saw_internal = false;
+    for (int i = 0; i < config_.leak_batch_queries; ++i) {
+      auto contacts = query(net, peer);
+      if (contacts) record_contacts(peer, *contacts, saw_internal);
+    }
+    ++batches;
+  }
+}
+
+void DhtCrawler::start(sim::Network& net, const netcore::Endpoint& bootstrap) {
+  // The bootstrap server is a DHT node like any other; crawl it first.
+  dht::Contact boot{dht::NodeId160{}, bootstrap};
+  enqueued_.insert(PeerKey{boot});
+  frontier_.push_back(boot);
+  (void)net;
+}
+
+std::size_t DhtCrawler::crawl_step(sim::Network& net,
+                                   std::size_t peer_budget) {
+  std::size_t processed = 0;
+  while (processed < peer_budget && !frontier_.empty()) {
+    dht::Contact peer = frontier_.front();
+    frontier_.pop_front();
+    process_peer(net, peer);
+    ++processed;
+  }
+  return processed;
+}
+
+std::size_t DhtCrawler::ping_step(sim::Network& net, std::size_t budget) {
+  if (!config_.ping_learned) return 0;
+  if (!ping_queue_built_) {
+    ping_queue_ = data_.learned_contacts();
+    ping_cursor_ = 0;
+    ping_queue_built_ = true;
+  }
+  std::size_t issued = 0;
+  while (issued < budget && ping_cursor_ < ping_queue_.size()) {
+    const dht::Contact& peer = ping_queue_[ping_cursor_++];
+    std::uint64_t tx = next_tx_++;
+    awaiting_tx_ = tx;
+    pong_tx_.reset();
+    sim::Packet pkt = sim::Packet::udp(local_, peer.endpoint);
+    pkt.payload = dht::Message{dht::PingMsg{tx, id_}};
+    ++stats_.pings_sent;
+    net.send(std::move(pkt), host_);
+    awaiting_tx_ = 0;
+    if (pong_tx_) data_.note_ping_response(peer);
+    ++issued;
+  }
+  return issued;
+}
+
+}  // namespace cgn::crawler

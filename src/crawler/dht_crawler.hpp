@@ -1,0 +1,109 @@
+// The BitTorrent DHT crawler of paper §4.1.
+//
+// Starting from a bootstrap server, the crawler sends each discovered peer a
+// series of find_nodes queries with random targets (five by default, as in
+// the paper, harvesting ~40 contacts per peer), records every contact it
+// learns, and — when a peer reports contacts with reserved-range addresses —
+// keeps issuing batches of ten further queries for as long as fresh internal
+// peers keep coming. Learned peers are additionally probed with bt_ping to
+// measure responsiveness (Table 2).
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "crawler/crawl_dataset.hpp"
+#include "dht/dht_node.hpp"
+#include "sim/network.hpp"
+#include "sim/rng.hpp"
+
+namespace cgn::crawler {
+
+struct CrawlConfig {
+  /// find_nodes queries per newly discovered peer.
+  int initial_queries = 5;
+  /// Extra queries per batch once a peer leaks internal contacts.
+  int leak_batch_queries = 10;
+  /// Upper bound on leak batches per peer (the paper continues "as long as
+  /// we continue to harvest"; this caps pathological peers).
+  int max_leak_batches = 8;
+  /// Probe learned peers with bt_ping after the crawl.
+  bool ping_learned = true;
+  /// Virtual seconds the driver should advance between crawl steps; the
+  /// crawler itself never advances the clock.
+  sim::SimTime step_interval_s = 0.0;
+};
+
+/// Counters describing crawler activity (not the harvested data).
+struct CrawlerStats {
+  std::uint64_t find_nodes_sent = 0;
+  std::uint64_t find_nodes_answered = 0;
+  std::uint64_t pings_sent = 0;
+  std::uint64_t peers_with_leaks = 0;
+};
+
+class DhtCrawler {
+ public:
+  DhtCrawler(sim::NodeId host, netcore::Endpoint local, CrawlConfig config,
+             sim::Rng rng);
+
+  /// Installs the crawler's receiver on its host node.
+  void install(sim::Network& net);
+
+  /// Seeds the frontier from the bootstrap server.
+  void start(sim::Network& net, const netcore::Endpoint& bootstrap);
+
+  /// Processes up to `peer_budget` frontier peers; returns the number
+  /// actually processed (0 when the frontier is empty). Interleave with
+  /// swarm maintenance so peers' NAT mappings stay warm.
+  std::size_t crawl_step(sim::Network& net, std::size_t peer_budget);
+
+  [[nodiscard]] bool frontier_empty() const noexcept {
+    return frontier_.empty();
+  }
+
+  /// bt_ping sweep over every learned contact (Table 2's responder counts).
+  /// Call after the crawl; may be interleaved via `budget`, returns probes
+  /// issued.
+  std::size_t ping_step(sim::Network& net, std::size_t budget);
+
+  [[nodiscard]] const CrawlDataset& dataset() const noexcept { return data_; }
+  [[nodiscard]] const CrawlerStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const netcore::Endpoint& local_endpoint() const noexcept {
+    return local_;
+  }
+
+ private:
+  void handle(sim::Network& net, const sim::Packet& pkt);
+  /// Sends one find_nodes; returns the contacts received (empty if no reply).
+  std::optional<std::vector<dht::Contact>> query(sim::Network& net,
+                                                 const dht::Contact& peer);
+  /// Queries one peer fully (initial queries + leak batches).
+  void process_peer(sim::Network& net, const dht::Contact& peer);
+  void record_contacts(const dht::Contact& from,
+                       const std::vector<dht::Contact>& contacts,
+                       bool& saw_new_internal);
+
+  sim::NodeId host_;
+  netcore::Endpoint local_;
+  CrawlConfig config_;
+  sim::Rng rng_;
+  dht::NodeId160 id_;
+
+  CrawlDataset data_;
+  CrawlerStats stats_;
+
+  std::deque<dht::Contact> frontier_;
+  std::unordered_set<PeerKey, PeerKeyHash> enqueued_;
+  std::vector<dht::Contact> ping_queue_;
+  std::size_t ping_cursor_ = 0;
+  bool ping_queue_built_ = false;
+
+  // Per in-flight request state (the sim is synchronous).
+  std::uint64_t next_tx_ = 1;
+  std::uint64_t awaiting_tx_ = 0;
+  std::optional<std::vector<dht::Contact>> reply_contacts_;
+  std::optional<std::uint64_t> pong_tx_;
+};
+
+}  // namespace cgn::crawler

@@ -1,0 +1,240 @@
+#include "dht/dht_node.hpp"
+
+#include <algorithm>
+
+namespace cgn::dht {
+
+DhtNode::DhtNode(NodeId160 id, netcore::Endpoint local_endpoint,
+                 sim::NodeId host, DhtNodeConfig config, sim::Rng rng)
+    : id_(id), local_(local_endpoint), host_(host), config_(config),
+      rng_(std::move(rng)) {}
+
+void DhtNode::send_message(sim::Network& net, const netcore::Endpoint& dst,
+                           Message msg) {
+  sim::Packet pkt = sim::Packet::udp(local_, dst);
+  pkt.payload = std::move(msg);
+  net.send(std::move(pkt), host_);
+}
+
+void DhtNode::send_ping(sim::Network& net, const Contact& contact) {
+  std::uint64_t tx = next_tx_++;
+  pending_[tx] = Pending{contact, net.clock().now()};
+  send_message(net, contact.endpoint, PingMsg{tx, id_});
+}
+
+DhtNode::Entry* DhtNode::find_entry(const Contact& contact) {
+  auto it = std::find_if(table_.begin(), table_.end(), [&](const Entry& e) {
+    return e.contact == contact;
+  });
+  return it == table_.end() ? nullptr : &*it;
+}
+
+void DhtNode::add_candidate(const Contact& contact, sim::SimTime now) {
+  if (contact.id == id_) return;  // never store ourselves
+  if (Entry* e = find_entry(contact)) {
+    e->last_seen = now;
+    return;
+  }
+  if (table_.size() >= config_.table_capacity) {
+    // Kademlia-style retention: validated (live) entries are kept; the
+    // stalest unvalidated candidate makes room. Only when every entry is
+    // validated does the stalest validated one rotate out.
+    auto stalest = table_.end();
+    for (auto it = table_.begin(); it != table_.end(); ++it) {
+      if (it->pinned) continue;
+      if (stalest == table_.end() ||
+          (!it->validated && stalest->validated) ||
+          (it->validated == stalest->validated &&
+           it->last_seen < stalest->last_seen))
+        stalest = it;
+    }
+    if (stalest == table_.end()) return;  // everything pinned: drop newcomer
+    *stalest = Entry{contact, false, false, false, now};
+    return;
+  }
+  table_.push_back(Entry{contact, false, false, false, now});
+}
+
+void DhtNode::mark_validated(const Contact& contact, sim::SimTime now) {
+  if (Entry* e = find_entry(contact)) {
+    if (!e->validated) ++stats_.contacts_validated;
+    e->validated = true;
+    e->ping_inflight = false;
+    e->last_seen = now;
+  } else {
+    add_candidate(contact, now);
+    if (Entry* fresh = find_entry(contact)) {
+      fresh->validated = true;
+      ++stats_.contacts_validated;
+    }
+  }
+}
+
+std::vector<Contact> DhtNode::closest(const NodeId160& target, std::size_t k,
+                                      bool validated_only) const {
+  std::vector<const Entry*> entries;
+  entries.reserve(table_.size());
+  for (const Entry& e : table_)
+    if (e.validated || !validated_only) entries.push_back(&e);
+  std::size_t n = std::min(k, entries.size());
+  std::partial_sort(entries.begin(), entries.begin() + n, entries.end(),
+                    [&](const Entry* a, const Entry* b) {
+                      return a->contact.id.closer_to(target, b->contact.id);
+                    });
+  std::vector<Contact> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(entries[i]->contact);
+  return out;
+}
+
+void DhtNode::handle(sim::Network& net, const sim::Packet& pkt) {
+  const Message* msg = std::any_cast<Message>(&pkt.payload);
+  if (!msg) return;  // not a DHT packet
+  const sim::SimTime now = net.clock().now();
+
+  if (const auto* ping = std::get_if<PingMsg>(msg)) {
+    ++stats_.pings_received;
+    Contact sender{ping->sender, pkt.src};
+    add_candidate(sender, now);
+    send_message(net, pkt.src, PongMsg{ping->tx, id_});
+    // Validate new senders right away (before churn can evict them). For a
+    // hairpin-observed internal endpoint this ping-back is the step that
+    // turns it into propagatable — leakable — contact information.
+    if (config_.ping_new_candidates) {
+      Entry* e = find_entry(sender);
+      if (e && !e->validated && !e->ping_inflight) {
+        e->ping_inflight = true;
+        send_ping(net, sender);
+      }
+    }
+    return;
+  }
+  if (const auto* pong = std::get_if<PongMsg>(msg)) {
+    ++stats_.pongs_received;
+    auto it = pending_.find(pong->tx);
+    if (it == pending_.end()) return;
+    Contact expected = it->second.contact;
+    pending_.erase(it);
+    mark_validated(expected, now);
+    // A response arriving from a different endpoint than we targeted (e.g.
+    // the internal-path reply of a peer behind the same NAT) teaches us an
+    // additional endpoint for that peer.
+    if (pkt.src != expected.endpoint)
+      add_candidate(Contact{pong->sender, pkt.src}, now);
+    return;
+  }
+  if (const auto* fn = std::get_if<FindNodesMsg>(msg)) {
+    ++stats_.find_nodes_received;
+    add_candidate(Contact{fn->sender, pkt.src}, now);
+    auto contacts = closest(fn->target, kFindNodesFanout,
+                            config_.validate_before_propagate);
+    send_message(net, pkt.src, NodesMsg{fn->tx, id_, std::move(contacts)});
+    return;
+  }
+  if (const auto* reply = std::get_if<AnnounceReply>(msg)) {
+    for (const Contact& c : reply->peers) {
+      add_candidate(c, now);
+      // A BitTorrent client connects to swarm peers right away; the ping
+      // doubles as DHT validation. When the peer is behind the same NAT,
+      // this is the packet that hairpins and exposes internal endpoints.
+      if (config_.ping_announce_peers) {
+        Entry* e = find_entry(c);
+        if (e && !e->validated && !e->ping_inflight) {
+          e->ping_inflight = true;
+          send_ping(net, c);
+        }
+      }
+    }
+    return;
+  }
+  if (const auto* nodes = std::get_if<NodesMsg>(msg)) {
+    ++stats_.nodes_replies_received;
+    auto it = pending_.find(nodes->tx);
+    if (it != pending_.end()) {
+      Contact expected = it->second.contact;
+      pending_.erase(it);
+      mark_validated(expected, now);
+    }
+    for (const Contact& c : nodes->contacts) add_candidate(c, now);
+    return;
+  }
+}
+
+void DhtNode::bootstrap(sim::Network& net, const netcore::Endpoint& server) {
+  std::uint64_t tx = next_tx_++;
+  // The bootstrap server has no node id we know a priori; use a zero-id
+  // contact for pending-tracking purposes.
+  pending_[tx] = Pending{Contact{NodeId160{}, server}, net.clock().now()};
+  send_message(net, server, FindNodesMsg{tx, id_, id_});
+}
+
+void DhtNode::run_maintenance(sim::Network& net) {
+  const sim::SimTime now = net.clock().now();
+  // Abandon stale pings so candidates can be retried or evicted.
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (now - it->second.sent_at > config_.ping_timeout_s) {
+      if (Entry* e = find_entry(it->second.contact)) e->ping_inflight = false;
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Validate unvalidated candidates.
+  int budget = config_.pings_per_round;
+  for (Entry& e : table_) {
+    if (budget <= 0) break;
+    if (e.validated || e.ping_inflight) continue;
+    e.ping_inflight = true;
+    send_ping(net, e.contact);
+    --budget;
+  }
+
+  // Random-target lookups keep the table populated and the NAT mapping warm.
+  std::vector<Contact> validated = validated_contacts();
+  if (validated.empty()) return;
+  for (int i = 0; i < config_.lookups_per_round; ++i) {
+    NodeId160 target = NodeId160::random(rng_);
+    for (int f = 0; f < config_.lookup_fanout; ++f) {
+      const Contact& peer = validated[rng_.index(validated.size())];
+      std::uint64_t tx = next_tx_++;
+      pending_[tx] = Pending{peer, now};
+      send_message(net, peer.endpoint, FindNodesMsg{tx, id_, target});
+    }
+  }
+}
+
+void DhtNode::learn_contact(const Contact& contact, bool pinned) {
+  add_candidate(contact, 0.0);
+  if (pinned) {
+    if (Entry* e = find_entry(contact)) e->pinned = true;
+  }
+}
+
+void DhtNode::announce(sim::Network& net, const netcore::Endpoint& tracker,
+                       std::uint64_t swarm) {
+  send_message(net, tracker, AnnounceMsg{next_tx_++, id_, swarm});
+}
+
+std::vector<Contact> DhtNode::validated_contacts() const {
+  std::vector<Contact> out;
+  for (const Entry& e : table_)
+    if (e.validated) out.push_back(e.contact);
+  return out;
+}
+
+std::vector<Contact> DhtNode::all_contacts() const {
+  std::vector<Contact> out;
+  out.reserve(table_.size());
+  for (const Entry& e : table_) out.push_back(e.contact);
+  return out;
+}
+
+bool DhtNode::knows_validated(const Contact& c) const {
+  auto it = std::find_if(table_.begin(), table_.end(), [&](const Entry& e) {
+    return e.contact == c && e.validated;
+  });
+  return it != table_.end();
+}
+
+}  // namespace cgn::dht

@@ -1,0 +1,131 @@
+// Behavioural model of a BitTorrent DHT participant.
+//
+// Nodes maintain a contact table, validate learned contacts with ping/pong
+// before propagating them (the property the paper's calibration confirmed
+// for 98.7% of real peers), answer find_nodes with the XOR-closest contacts,
+// and — crucially for the reproduction — store whatever *observed* source
+// endpoint a packet arrives with. When a NAT hairpins traffic between two
+// peers behind it and preserves the internal source, the observed endpoint
+// is an internal address, which the node will happily validate (the ping
+// works, internally) and later leak to the crawler.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dht/messages.hpp"
+#include "sim/network.hpp"
+#include "sim/rng.hpp"
+
+namespace cgn::dht {
+
+struct DhtNodeConfig {
+  std::size_t table_capacity = 200;
+  /// Unvalidated candidates pinged per maintenance round.
+  int pings_per_round = 8;
+  /// Random-target find_nodes lookups issued per maintenance round.
+  int lookups_per_round = 1;
+  /// Peers a lookup is sent to.
+  int lookup_fanout = 3;
+  /// Seconds after which an unanswered ping is abandoned.
+  sim::SimTime ping_timeout_s = 30.0;
+  /// BEP-5-conformant nodes only propagate validated contacts. The paper
+  /// measured ~1.3% of real peers violating this.
+  bool validate_before_propagate = true;
+  /// Contact tracker-announced swarm peers immediately (as a client opening
+  /// peer connections would) instead of waiting for table maintenance.
+  bool ping_announce_peers = true;
+  /// Ping-back previously unknown senders immediately to validate them.
+  bool ping_new_candidates = true;
+};
+
+/// Per-node counters for tests and calibration.
+struct DhtNodeStats {
+  std::uint64_t pings_received = 0;
+  std::uint64_t find_nodes_received = 0;
+  std::uint64_t pongs_received = 0;
+  std::uint64_t nodes_replies_received = 0;
+  std::uint64_t contacts_validated = 0;
+};
+
+class DhtNode {
+ public:
+  /// `local_endpoint` is the node's own socket address (one fixed UDP port,
+  /// as real clients use); `host` is its node in the simulated network.
+  DhtNode(NodeId160 id, netcore::Endpoint local_endpoint, sim::NodeId host,
+          DhtNodeConfig config, sim::Rng rng);
+
+  /// Packet receiver; wire it (via a port demux) to the host node.
+  void handle(sim::Network& net, const sim::Packet& pkt);
+
+  /// Contacts the bootstrap server: ping + find_nodes(own id).
+  void bootstrap(sim::Network& net, const netcore::Endpoint& server);
+
+  /// One activity round: validate candidates, run random-target lookups.
+  /// Drives both DHT graph formation and NAT mapping keep-alive.
+  void run_maintenance(sim::Network& net);
+
+  /// Injects a contact learned out-of-band (e.g. LAN multicast local peer
+  /// discovery). It still needs ping validation before being propagated.
+  /// Pinned contacts are never evicted — modelling local peer discovery's
+  /// periodic re-announcement on the LAN.
+  void learn_contact(const Contact& contact, bool pinned = false);
+
+  /// Announces membership in `swarm` to a tracker; the reply's peer sample
+  /// joins the candidate table (and gets validated by later maintenance).
+  void announce(sim::Network& net, const netcore::Endpoint& tracker,
+                std::uint64_t swarm);
+
+  [[nodiscard]] const NodeId160& id() const noexcept { return id_; }
+  [[nodiscard]] const netcore::Endpoint& local_endpoint() const noexcept {
+    return local_;
+  }
+  [[nodiscard]] sim::NodeId host() const noexcept { return host_; }
+  [[nodiscard]] const DhtNodeStats& stats() const noexcept { return stats_; }
+
+  [[nodiscard]] std::size_t table_size() const noexcept {
+    return table_.size();
+  }
+  [[nodiscard]] std::vector<Contact> validated_contacts() const;
+  [[nodiscard]] std::vector<Contact> all_contacts() const;
+  /// True when (id, endpoint) is in the table and validated.
+  [[nodiscard]] bool knows_validated(const Contact& c) const;
+
+ private:
+  struct Entry {
+    Contact contact;
+    bool validated = false;
+    bool ping_inflight = false;
+    bool pinned = false;  ///< kept alive out-of-band (LAN discovery)
+    sim::SimTime last_seen = 0;
+  };
+  struct Pending {
+    Contact contact;
+    sim::SimTime sent_at = 0;
+  };
+
+  void send_message(sim::Network& net, const netcore::Endpoint& dst,
+                    Message msg);
+  void send_ping(sim::Network& net, const Contact& contact);
+  void add_candidate(const Contact& contact, sim::SimTime now);
+  void mark_validated(const Contact& contact, sim::SimTime now);
+  Entry* find_entry(const Contact& contact);
+  [[nodiscard]] std::vector<Contact> closest(const NodeId160& target,
+                                             std::size_t k,
+                                             bool validated_only) const;
+
+  NodeId160 id_;
+  netcore::Endpoint local_;
+  sim::NodeId host_;
+  DhtNodeConfig config_;
+  sim::Rng rng_;
+  DhtNodeStats stats_;
+
+  std::vector<Entry> table_;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::uint64_t next_tx_ = 1;
+};
+
+}  // namespace cgn::dht

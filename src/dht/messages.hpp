@@ -1,0 +1,71 @@
+// BitTorrent DHT wire messages (the BEP-5 subset the paper's methodology
+// uses: ping/pong for reachability validation and find_nodes for peer-list
+// harvesting).
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "dht/node_id.hpp"
+#include "netcore/ipv4.hpp"
+
+namespace cgn::dht {
+
+/// Contact information for one peer, exactly what find_nodes responses carry:
+/// the peer's id plus the IP:port the responding node has on file. When the
+/// responding node sits behind the same NAT as the contact, this endpoint can
+/// be an *internal* address — the leak the paper's crawler harvests.
+struct Contact {
+  NodeId160 id;
+  netcore::Endpoint endpoint;
+
+  bool operator==(const Contact&) const = default;
+};
+
+struct PingMsg {
+  std::uint64_t tx = 0;
+  NodeId160 sender;
+};
+
+struct PongMsg {
+  std::uint64_t tx = 0;
+  NodeId160 sender;
+};
+
+struct FindNodesMsg {
+  std::uint64_t tx = 0;
+  NodeId160 sender;
+  NodeId160 target;
+};
+
+/// Response to FindNodesMsg: up to kFindNodesFanout closest contacts.
+struct NodesMsg {
+  std::uint64_t tx = 0;
+  NodeId160 sender;
+  std::vector<Contact> contacts;
+};
+
+/// BEP-5: find_node responses carry the K=8 closest nodes.
+inline constexpr std::size_t kFindNodesFanout = 8;
+
+/// Tracker announce (UDP-tracker style): "I participate in swarm X". The
+/// tracker records the *observed* source endpoint — i.e. the peer's
+/// NAT-external address — and returns a sample of swarm members. This is how
+/// peers behind the same CGN first learn about each other.
+struct AnnounceMsg {
+  std::uint64_t tx = 0;
+  NodeId160 sender;
+  std::uint64_t swarm = 0;
+};
+
+struct AnnounceReply {
+  std::uint64_t tx = 0;
+  std::uint64_t swarm = 0;
+  std::vector<Contact> peers;
+};
+
+using Message = std::variant<PingMsg, PongMsg, FindNodesMsg, NodesMsg,
+                             AnnounceMsg, AnnounceReply>;
+
+}  // namespace cgn::dht

@@ -1,0 +1,55 @@
+#include "dht/node_id.hpp"
+
+namespace cgn::dht {
+
+NodeId160 NodeId160::random(sim::Rng& rng) {
+  Bytes b;
+  for (auto& byte : b)
+    byte = static_cast<std::uint8_t>(rng.uniform(0, 255));
+  return NodeId160(b);
+}
+
+std::string NodeId160::to_hex() const {
+  static constexpr char digits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(40);
+  for (std::uint8_t b : bytes_) {
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0xF]);
+  }
+  return out;
+}
+
+NodeId160::Bytes NodeId160::distance_to(const NodeId160& other) const noexcept {
+  Bytes d;
+  for (std::size_t i = 0; i < d.size(); ++i)
+    d[i] = static_cast<std::uint8_t>(bytes_[i] ^ other.bytes_[i]);
+  return d;
+}
+
+bool NodeId160::closer_to(const NodeId160& target,
+                          const NodeId160& other) const noexcept {
+  for (std::size_t i = 0; i < bytes_.size(); ++i) {
+    auto da = static_cast<std::uint8_t>(bytes_[i] ^ target.bytes_[i]);
+    auto db = static_cast<std::uint8_t>(other.bytes_[i] ^ target.bytes_[i]);
+    if (da != db) return da < db;
+  }
+  return false;
+}
+
+int NodeId160::bucket_index(const NodeId160& other) const noexcept {
+  for (std::size_t i = 0; i < bytes_.size(); ++i) {
+    auto d = static_cast<std::uint8_t>(bytes_[i] ^ other.bytes_[i]);
+    if (d != 0) {
+      int lead = 0;
+      for (int bit = 7; bit >= 0; --bit) {
+        if (d & (1u << bit)) break;
+        ++lead;
+      }
+      return static_cast<int>(i) * 8 + lead;
+    }
+  }
+  return 160;
+}
+
+}  // namespace cgn::dht

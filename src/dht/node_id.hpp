@@ -1,0 +1,55 @@
+// 160-bit BitTorrent DHT node identifiers and the Kademlia XOR metric.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/rng.hpp"
+
+namespace cgn::dht {
+
+/// A 160-bit DHT node identifier (BEP-5), big-endian byte order.
+class NodeId160 {
+ public:
+  using Bytes = std::array<std::uint8_t, 20>;
+
+  constexpr NodeId160() = default;
+  constexpr explicit NodeId160(const Bytes& bytes) : bytes_(bytes) {}
+
+  /// Uniformly random id, as real clients self-assign.
+  [[nodiscard]] static NodeId160 random(sim::Rng& rng);
+
+  [[nodiscard]] const Bytes& bytes() const noexcept { return bytes_; }
+  [[nodiscard]] std::string to_hex() const;
+
+  /// XOR distance to `other` (also 160 bits).
+  [[nodiscard]] Bytes distance_to(const NodeId160& other) const noexcept;
+
+  /// True when `this` is strictly closer to `target` than `other` is
+  /// (lexicographic comparison of the XOR distances, per Kademlia).
+  [[nodiscard]] bool closer_to(const NodeId160& target,
+                               const NodeId160& other) const noexcept;
+
+  /// Index of the highest differing bit (0 = MSB); 160 when ids are equal.
+  /// This is the classic k-bucket index.
+  [[nodiscard]] int bucket_index(const NodeId160& other) const noexcept;
+
+  auto operator<=>(const NodeId160&) const = default;
+
+ private:
+  Bytes bytes_{};
+};
+
+}  // namespace cgn::dht
+
+template <>
+struct std::hash<cgn::dht::NodeId160> {
+  std::size_t operator()(const cgn::dht::NodeId160& id) const noexcept {
+    std::uint64_t h = 0;
+    for (std::uint8_t b : id.bytes()) h = h * 1099511628211ull + b;
+    return static_cast<std::size_t>(h);
+  }
+};

@@ -1,0 +1,50 @@
+// A BitTorrent tracker: peers announce their swarm membership and receive a
+// sample of other members' contact information. Because the tracker sits on
+// the public Internet, the endpoints it records and redistributes are the
+// peers' NAT-external endpoints — the starting point of the hairpin chain
+// that ultimately leaks internal addresses into the DHT (§4.1).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dht/messages.hpp"
+#include "sim/network.hpp"
+#include "sim/rng.hpp"
+
+namespace cgn::dht {
+
+class TrackerServer {
+ public:
+  static constexpr std::uint16_t kPort = 6969;
+
+  TrackerServer(sim::NodeId host, netcore::Ipv4Address address, sim::Rng rng,
+                std::size_t reply_sample = 25)
+      : host_(host), address_(address), rng_(std::move(rng)),
+        reply_sample_(reply_sample) {}
+
+  void install(sim::Network& net);
+
+  [[nodiscard]] netcore::Endpoint endpoint() const noexcept {
+    return {address_, kPort};
+  }
+  [[nodiscard]] std::size_t swarm_count() const noexcept {
+    return swarms_.size();
+  }
+  [[nodiscard]] std::size_t swarm_size(std::uint64_t swarm) const {
+    auto it = swarms_.find(swarm);
+    return it == swarms_.end() ? 0 : it->second.size();
+  }
+
+ private:
+  void handle(sim::Network& net, const sim::Packet& pkt);
+
+  sim::NodeId host_;
+  netcore::Ipv4Address address_;
+  sim::Rng rng_;
+  std::size_t reply_sample_;
+  std::unordered_map<std::uint64_t, std::vector<Contact>> swarms_;
+};
+
+}  // namespace cgn::dht

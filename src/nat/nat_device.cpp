@@ -1,0 +1,462 @@
+#include "nat/nat_device.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cgn::nat {
+
+namespace {
+std::size_t mix(std::size_t a, std::size_t b) noexcept {
+  return a ^ (b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2));
+}
+std::size_t hash_endpoint(const netcore::Endpoint& e) noexcept {
+  return std::hash<netcore::Endpoint>{}(e);
+}
+}  // namespace
+
+std::string_view to_string(MappingType t) noexcept {
+  switch (t) {
+    case MappingType::symmetric: return "symmetric";
+    case MappingType::port_address_restricted: return "port-address restricted";
+    case MappingType::address_restricted: return "address restricted";
+    case MappingType::full_cone: return "full cone";
+  }
+  return "?";
+}
+
+std::string_view to_string(PortAllocation p) noexcept {
+  switch (p) {
+    case PortAllocation::preservation: return "preservation";
+    case PortAllocation::sequential: return "sequential";
+    case PortAllocation::random: return "random";
+    case PortAllocation::chunk_random: return "chunk-random";
+  }
+  return "?";
+}
+
+std::string_view to_string(Pooling p) noexcept {
+  switch (p) {
+    case Pooling::paired: return "paired";
+    case Pooling::arbitrary: return "arbitrary";
+  }
+  return "?";
+}
+
+std::size_t NatDevice::OutKeyHash::operator()(const OutKey& k) const noexcept {
+  return mix(mix(hash_endpoint(k.internal), hash_endpoint(k.remote)),
+             static_cast<std::size_t>(k.proto));
+}
+
+std::size_t NatDevice::InKeyHash::operator()(const InKey& k) const noexcept {
+  return mix(hash_endpoint(k.external), static_cast<std::size_t>(k.proto));
+}
+
+NatDevice::NatDevice(NatConfig config,
+                     std::vector<netcore::Ipv4Address> external_pool,
+                     sim::Rng rng)
+    : config_(std::move(config)), pool_(std::move(external_pool)),
+      rng_(std::move(rng)) {
+  if (pool_.empty())
+    throw std::invalid_argument(config_.name + ": empty external pool");
+  if (config_.port_min > config_.port_max)
+    throw std::invalid_argument(config_.name + ": inverted port range");
+  if (config_.port_allocation == PortAllocation::chunk_random &&
+      config_.chunk_size == 0)
+    throw std::invalid_argument(config_.name + ": zero chunk size");
+  pool_index_.reserve(pool_.size());
+  for (std::size_t i = 0; i < pool_.size(); ++i) pool_index_.emplace(pool_[i], i);
+  if (pool_index_.size() != pool_.size())
+    throw std::invalid_argument(config_.name + ": duplicate pool addresses");
+  used_ports_udp_.resize(pool_.size());
+  used_ports_tcp_.resize(pool_.size());
+  seq_cursor_.assign(pool_.size(), config_.port_min);
+  chunks_taken_.resize(pool_.size());
+}
+
+bool NatDevice::owns_external(netcore::Ipv4Address a) const {
+  return pool_index_.contains(a);
+}
+
+void NatDevice::note_contact(Mapping& m, const netcore::Endpoint& dst) {
+  switch (config_.mapping) {
+    case MappingType::address_restricted:
+      m.contacted_addresses.insert(dst.address);
+      break;
+    case MappingType::port_address_restricted:
+      m.contacted_endpoints.insert(dst);
+      break;
+    case MappingType::full_cone:
+    case MappingType::symmetric:
+      break;  // full cone filters nothing; symmetric pins key.remote
+  }
+}
+
+bool NatDevice::passes_filter(const Mapping& m,
+                              const netcore::Endpoint& src) const {
+  if (m.static_mapping) return true;
+  switch (config_.mapping) {
+    case MappingType::full_cone: return true;
+    case MappingType::address_restricted:
+      return m.contacted_addresses.contains(src.address);
+    case MappingType::port_address_restricted:
+      return m.contacted_endpoints.contains(src);
+    case MappingType::symmetric: return src == m.key.remote;
+  }
+  return false;
+}
+
+void NatDevice::erase_mapping(const OutKey& key) {
+  auto it = mappings_.find(key);
+  if (it == mappings_.end()) return;
+  const Mapping& m = it->second;
+  if (on_expired_)
+    on_expired_(key.proto, m.external, m.created_at,
+                m.last_refresh + timeout_for(m));
+  by_external_.erase(InKey{key.proto, m.external});
+  auto pool_it = pool_index_.find(m.external.address);
+  if (pool_it != pool_index_.end()) {
+    auto& used = key.proto == netcore::Protocol::udp
+                     ? used_ports_udp_[pool_it->second]
+                     : used_ports_tcp_[pool_it->second];
+    used.erase(m.external.port);
+  }
+  mappings_.erase(it);
+}
+
+NatDevice::Mapping* NatDevice::find_out(const OutKey& key, sim::SimTime now) {
+  auto it = mappings_.find(key);
+  if (it == mappings_.end()) return nullptr;
+  if (expired(it->second, now)) {
+    ++stats_.mappings_expired;
+    erase_mapping(key);
+    return nullptr;
+  }
+  return &it->second;
+}
+
+NatDevice::Mapping* NatDevice::find_in(netcore::Protocol proto,
+                                       const netcore::Endpoint& external,
+                                       sim::SimTime now) {
+  auto it = by_external_.find(InKey{proto, external});
+  if (it == by_external_.end()) return nullptr;
+  auto map_it = mappings_.find(it->second);
+  if (map_it == mappings_.end()) {
+    by_external_.erase(it);
+    return nullptr;
+  }
+  if (expired(map_it->second, now)) {
+    ++stats_.mappings_expired;
+    erase_mapping(map_it->first);
+    return nullptr;
+  }
+  return &map_it->second;
+}
+
+std::size_t NatDevice::pick_pool_index(netcore::Ipv4Address internal_ip) {
+  if (config_.pooling == Pooling::paired) {
+    auto [it, inserted] = paired_pool_.try_emplace(internal_ip, 0);
+    if (inserted) it->second = rng_.index(pool_.size());
+    return it->second;
+  }
+  return rng_.index(pool_.size());
+}
+
+std::optional<std::uint16_t> NatDevice::allocate_port(
+    std::size_t pool_index, netcore::Protocol proto,
+    std::uint16_t internal_port, netcore::Ipv4Address internal_ip) {
+  auto& used = proto == netcore::Protocol::udp ? used_ports_udp_[pool_index]
+                                               : used_ports_tcp_[pool_index];
+  const std::uint32_t lo = config_.port_min;
+  const std::uint32_t hi = config_.port_max;
+  const std::uint32_t range = hi - lo + 1;
+
+  auto seq_scan = [&](std::uint32_t start) -> std::optional<std::uint16_t> {
+    for (std::uint32_t i = 0; i < range; ++i) {
+      std::uint32_t p = lo + (start - lo + i) % range;
+      if (!used.contains(static_cast<std::uint16_t>(p)))
+        return static_cast<std::uint16_t>(p);
+    }
+    return std::nullopt;
+  };
+
+  switch (config_.port_allocation) {
+    case PortAllocation::preservation: {
+      if (internal_port >= lo && internal_port <= hi &&
+          !used.contains(internal_port))
+        return internal_port;
+      // Collision (or out of range): fall back to the next free port.
+      std::uint32_t start = internal_port >= lo && internal_port <= hi
+                                ? internal_port + 1u
+                                : lo;
+      if (start > hi) start = lo;
+      return seq_scan(start);
+    }
+    case PortAllocation::sequential: {
+      auto port = seq_scan(seq_cursor_[pool_index]);
+      if (port) {
+        std::uint32_t next = static_cast<std::uint32_t>(*port) + 1;
+        seq_cursor_[pool_index] = next > hi ? lo : next;
+      }
+      return port;
+    }
+    case PortAllocation::random: {
+      for (int attempt = 0; attempt < 32; ++attempt) {
+        auto p = static_cast<std::uint16_t>(rng_.uniform(lo, hi));
+        if (!used.contains(p)) return p;
+      }
+      return seq_scan(lo + static_cast<std::uint32_t>(rng_.index(range)));
+    }
+    case PortAllocation::chunk_random: {
+      auto chunk_it = subscriber_chunks_.find(internal_ip);
+      if (chunk_it == subscriber_chunks_.end()) return std::nullopt;
+      auto [idx, base] = chunk_it->second;
+      (void)idx;
+      const std::uint32_t cs = config_.chunk_size;
+      for (int attempt = 0; attempt < 32; ++attempt) {
+        auto p = static_cast<std::uint16_t>(base + rng_.index(cs));
+        if (!used.contains(p)) return p;
+      }
+      for (std::uint32_t i = 0; i < cs; ++i) {
+        auto p = static_cast<std::uint16_t>(base + i);
+        if (!used.contains(p)) return p;
+      }
+      return std::nullopt;  // the subscriber's chunk is exhausted
+    }
+  }
+  return std::nullopt;
+}
+
+NatDevice::Mapping* NatDevice::create_mapping(const OutKey& key,
+                                              sim::SimTime now) {
+  const netcore::Ipv4Address internal_ip = key.internal.address;
+  std::size_t pool_idx = 0;
+  std::optional<std::uint16_t> port;
+
+  if (config_.port_allocation == PortAllocation::chunk_random) {
+    // The subscriber's chunk (and with it the external IP) is sticky.
+    auto it = subscriber_chunks_.find(internal_ip);
+    if (it == subscriber_chunks_.end()) {
+      const std::uint32_t cs = config_.chunk_size;
+      const std::uint16_t first_chunk =
+          static_cast<std::uint16_t>((config_.port_min + cs - 1) / cs);
+      const std::uint16_t last_chunk =
+          static_cast<std::uint16_t>((std::uint32_t{config_.port_max} + 1) / cs -
+                                     1);
+      if (first_chunk > last_chunk) {
+        ++stats_.port_exhaustion_drops;
+        return nullptr;
+      }
+      // Try pool members (starting with the paired choice) for a free chunk.
+      std::size_t start = pick_pool_index(internal_ip);
+      for (std::size_t off = 0; off < pool_.size() && !port; ++off) {
+        std::size_t candidate = (start + off) % pool_.size();
+        auto& taken = chunks_taken_[candidate];
+        if (taken.size() >= std::size_t{last_chunk} - first_chunk + 1) continue;
+        for (int attempt = 0; attempt < 64; ++attempt) {
+          auto chunk = static_cast<std::uint16_t>(
+              rng_.uniform(first_chunk, last_chunk));
+          if (taken.contains(chunk)) continue;
+          taken.insert(chunk);
+          it = subscriber_chunks_
+                   .emplace(internal_ip,
+                            std::make_pair(candidate, static_cast<std::uint16_t>(
+                                                          chunk * cs)))
+                   .first;
+          pool_idx = candidate;
+          port = allocate_port(pool_idx, key.proto, key.internal.port,
+                               internal_ip);
+          break;
+        }
+      }
+      if (it == subscriber_chunks_.end()) {
+        ++stats_.port_exhaustion_drops;
+        return nullptr;
+      }
+    } else {
+      pool_idx = it->second.first;
+      port = allocate_port(pool_idx, key.proto, key.internal.port, internal_ip);
+    }
+  } else {
+    pool_idx = pick_pool_index(internal_ip);
+    port = allocate_port(pool_idx, key.proto, key.internal.port, internal_ip);
+    if (!port && config_.pooling == Pooling::arbitrary) {
+      for (std::size_t off = 1; off < pool_.size() && !port; ++off) {
+        pool_idx = (pool_idx + 1) % pool_.size();
+        port = allocate_port(pool_idx, key.proto, key.internal.port,
+                             internal_ip);
+      }
+    }
+  }
+
+  if (!port) {
+    ++stats_.port_exhaustion_drops;
+    return nullptr;
+  }
+
+  auto& used = key.proto == netcore::Protocol::udp ? used_ports_udp_[pool_idx]
+                                                   : used_ports_tcp_[pool_idx];
+  used.insert(*port);
+
+  Mapping m;
+  m.key = key;
+  m.external = netcore::Endpoint{pool_[pool_idx], *port};
+  m.created_at = now;
+  m.last_refresh = now;
+  auto [it, inserted] = mappings_.emplace(key, std::move(m));
+  by_external_.emplace(InKey{key.proto, it->second.external}, key);
+  ++stats_.mappings_created;
+  if (on_created_)
+    on_created_(key.proto, key.internal, it->second.external, now);
+  return &it->second;
+}
+
+void NatDevice::track_tcp(Mapping& m, const sim::Packet& pkt, bool inbound) {
+  if (pkt.proto != netcore::Protocol::tcp) return;
+  switch (pkt.tcp_flag) {
+    case sim::TcpFlag::syn:
+      // (Re-)handshake: stay/return to transitory until traffic flows both
+      // ways.
+      if (!inbound) m.tcp_state = TcpState::transitory;
+      break;
+    case sim::TcpFlag::fin:
+    case sim::TcpFlag::rst:
+      // Closing: drop to the short transitory timer (RFC 5382 REQ-5).
+      m.tcp_state = TcpState::transitory;
+      break;
+    case sim::TcpFlag::none:
+      // Data in either direction implies the handshake completed.
+      m.tcp_state = TcpState::established;
+      break;
+  }
+}
+
+sim::Middlebox::Verdict NatDevice::process_outbound(sim::Packet& pkt,
+                                                    sim::SimTime now) {
+  OutKey key{pkt.proto, pkt.src,
+             config_.mapping == MappingType::symmetric ? pkt.dst
+                                                       : netcore::Endpoint{}};
+  Mapping* m = find_out(key, now);
+  if (!m) {
+    m = create_mapping(key, now);
+    if (!m) return Verdict::drop_other;
+  }
+  m->last_refresh = now;
+  note_contact(*m, pkt.dst);
+  track_tcp(*m, pkt, /*inbound=*/false);
+  pkt.src = m->external;
+  ++stats_.outbound_translated;
+  return Verdict::forward;
+}
+
+sim::Middlebox::Verdict NatDevice::process_inbound(sim::Packet& pkt,
+                                                   sim::SimTime now) {
+  Mapping* m = find_in(pkt.proto, pkt.dst, now);
+  if (!m) {
+    ++stats_.inbound_no_mapping;
+    return Verdict::drop_no_mapping;
+  }
+  if (!passes_filter(*m, pkt.src)) {
+    ++stats_.inbound_filtered;
+    return Verdict::drop_filtered;
+  }
+  if (config_.refresh_on_inbound) m->last_refresh = now;
+  track_tcp(*m, pkt, /*inbound=*/true);
+  pkt.dst = m->key.internal;
+  ++stats_.inbound_translated;
+  return Verdict::forward;
+}
+
+sim::Middlebox::Verdict NatDevice::process_hairpin(sim::Packet& pkt,
+                                                   sim::SimTime now) {
+  if (!config_.hairpinning) {
+    ++stats_.hairpins_dropped;
+    return Verdict::drop_other;
+  }
+  if (!config_.hairpin_preserve_source) {
+    // Correct RFC 4787 behaviour: the looped packet carries the sender's
+    // *external* endpoint, so internal addresses stay hidden.
+    auto v = process_outbound(pkt, now);
+    if (v != Verdict::forward) {
+      ++stats_.hairpins_dropped;
+      return v;
+    }
+  }
+  auto v = process_inbound(pkt, now);
+  if (v != Verdict::forward) {
+    ++stats_.hairpins_dropped;
+    return v;
+  }
+  ++stats_.hairpins_forwarded;
+  return Verdict::forward;
+}
+
+std::optional<netcore::Endpoint> NatDevice::lookup_external(
+    netcore::Protocol proto, const netcore::Endpoint& internal,
+    const netcore::Endpoint& remote, sim::SimTime now) const {
+  OutKey key{proto, internal,
+             config_.mapping == MappingType::symmetric ? remote
+                                                       : netcore::Endpoint{}};
+  auto it = mappings_.find(key);
+  if (it == mappings_.end() || expired(it->second, now)) return std::nullopt;
+  return it->second.external;
+}
+
+std::size_t NatDevice::active_mappings(sim::SimTime now) const {
+  return static_cast<std::size_t>(
+      std::count_if(mappings_.begin(), mappings_.end(),
+                    [&](const auto& kv) { return !expired(kv.second, now); }));
+}
+
+void NatDevice::collect_garbage(sim::SimTime now) {
+  std::vector<OutKey> dead;
+  for (const auto& [key, m] : mappings_)
+    if (expired(m, now)) dead.push_back(key);
+  stats_.mappings_expired += dead.size();
+  for (const auto& key : dead) erase_mapping(key);
+}
+
+std::optional<netcore::Endpoint> NatDevice::add_static_mapping(
+    netcore::Protocol proto, const netcore::Endpoint& internal,
+    sim::SimTime now) {
+  // Static mappings are endpoint-independent by definition, so the key uses
+  // the zero remote even on an otherwise-symmetric NAT.
+  OutKey key{proto, internal, netcore::Endpoint{}};
+  if (Mapping* existing = find_out(key, now)) {
+    existing->static_mapping = true;
+    return existing->external;
+  }
+  Mapping* m = create_mapping(key, now);
+  if (!m) return std::nullopt;
+  m->static_mapping = true;
+  m->last_refresh = now;
+  return m->external;
+}
+
+bool NatDevice::renumber_external(netcore::Ipv4Address old_address,
+                                  netcore::Ipv4Address new_address) {
+  auto it = pool_index_.find(old_address);
+  if (it == pool_index_.end() || pool_index_.contains(new_address))
+    return false;
+  const std::size_t idx = it->second;
+
+  // Drop every mapping bound to the old address (flows break).
+  std::vector<OutKey> dead;
+  for (const auto& [key, m] : mappings_)
+    if (m.external.address == old_address) dead.push_back(key);
+  for (const auto& key : dead) erase_mapping(key);
+  stats_.mappings_expired += dead.size();
+
+  pool_[idx] = new_address;
+  pool_index_.erase(it);
+  pool_index_.emplace(new_address, idx);
+  return true;
+}
+
+std::optional<std::pair<std::uint16_t, std::uint32_t>>
+NatDevice::subscriber_chunk(netcore::Ipv4Address internal_ip) const {
+  auto it = subscriber_chunks_.find(internal_ip);
+  if (it == subscriber_chunks_.end()) return std::nullopt;
+  return std::make_pair(it->second.second, config_.chunk_size);
+}
+
+}  // namespace cgn::nat

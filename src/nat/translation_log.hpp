@@ -1,0 +1,84 @@
+// CGN translation logging — the paper's §2 traceability concern made
+// concrete. Operators report they are "legally required to be able to map
+// flows to subscribers"; with address sharing, that means logging every
+// mapping (or, with port chunks, every chunk assignment). This observer
+// records mapping lifecycles from a NatDevice and answers the one query
+// law enforcement actually brings: who used external IP:port at time T?
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "netcore/ipv4.hpp"
+#include "sim/clock.hpp"
+
+namespace cgn::nat {
+
+/// One logged translation record.
+struct TranslationRecord {
+  netcore::Protocol proto = netcore::Protocol::udp;
+  netcore::Endpoint internal;  ///< the subscriber side
+  netcore::Endpoint external;  ///< the shared public side
+  sim::SimTime created_at = 0;
+  /// Unset while the mapping is live.
+  std::optional<sim::SimTime> expired_at;
+};
+
+/// Append-only log of translation events, with the subscriber-attribution
+/// query on top. Attach to a NatDevice via set_observer().
+class TranslationLog {
+ public:
+  void on_created(const TranslationRecord& record) {
+    records_.push_back(record);
+  }
+  void on_expired(netcore::Protocol proto, const netcore::Endpoint& external,
+                  sim::SimTime created_at, sim::SimTime now) {
+    // Close the matching open record (scan from the back: recent first).
+    for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+      if (it->proto == proto && it->external == external &&
+          it->created_at == created_at && !it->expired_at) {
+        it->expired_at = now;
+        return;
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] const std::vector<TranslationRecord>& records() const noexcept {
+    return records_;
+  }
+
+  /// The attribution query: which internal endpoint was using
+  /// `external` (proto) at time `when`? Returns nullopt when no record
+  /// covers the instant — with port-overloading CGNs, exactly the situation
+  /// the paper's operators dread.
+  [[nodiscard]] std::optional<netcore::Endpoint> attribute(
+      netcore::Protocol proto, const netcore::Endpoint& external,
+      sim::SimTime when) const {
+    for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+      if (it->proto != proto || it->external != external) continue;
+      if (when < it->created_at) continue;
+      if (it->expired_at && when > *it->expired_at) continue;
+      return it->internal;
+    }
+    return std::nullopt;
+  }
+
+  /// Log volume per subscriber (distinct internal IPs) — the dimensioning
+  /// statistic operators size their log retention by.
+  [[nodiscard]] double records_per_subscriber() const {
+    std::vector<std::uint32_t> ips;
+    for (const auto& r : records_) ips.push_back(r.internal.address.value());
+    std::sort(ips.begin(), ips.end());
+    auto n = static_cast<double>(
+        std::unique(ips.begin(), ips.end()) - ips.begin());
+    return n == 0 ? 0.0 : static_cast<double>(records_.size()) / n;
+  }
+
+ private:
+  std::vector<TranslationRecord> records_;
+};
+
+}  // namespace cgn::nat

@@ -1,0 +1,195 @@
+#include "netalyzr/client.hpp"
+
+#include <algorithm>
+
+namespace cgn::netalyzr {
+
+namespace {
+// OS ephemeral range (the Linux default); Figure 8(a)'s contrast between OS
+// ephemeral ports and CGN-renumbered ports rests on this being a narrow,
+// well-known band.
+constexpr std::uint16_t kEphemeralLo = 32768;
+constexpr std::uint16_t kEphemeralHi = 60999;
+}  // namespace
+
+NetalyzrClient::NetalyzrClient(ClientContext context, sim::PortDemux& demux,
+                               sim::Rng rng)
+    : ctx_(context), demux_(&demux), rng_(std::move(rng)) {
+  ephemeral_cursor_ = static_cast<std::uint16_t>(
+      rng_.uniform(kEphemeralLo, kEphemeralHi));
+}
+
+NetalyzrClient::~NetalyzrClient() {
+  for (std::uint16_t port : bound_ports_) demux_->unbind(port);
+}
+
+void NetalyzrClient::bind(std::uint16_t port) {
+  demux_->bind(port, [this](sim::Network& n, const sim::Packet& p) {
+    handle(n, p);
+  });
+  bound_ports_.push_back(port);
+}
+
+std::uint16_t NetalyzrClient::next_ephemeral_port() {
+  std::uint16_t port = ephemeral_cursor_;
+  ephemeral_cursor_ = port >= kEphemeralHi
+                          ? kEphemeralLo
+                          : static_cast<std::uint16_t>(port + 1);
+  return port;
+}
+
+void NetalyzrClient::handle(sim::Network&, const sim::Packet& pkt) {
+  const auto* msg = std::any_cast<NetalyzrMessage>(&pkt.payload);
+  if (!msg) return;
+  if (const auto* echo = std::get_if<EchoResponse>(msg)) {
+    last_echo_ = *echo;
+    return;
+  }
+  if (const auto* ack = std::get_if<UdpInitAck>(msg)) {
+    last_ack_ = *ack;
+    return;
+  }
+  if (const auto* probe = std::get_if<UdpProbe>(msg)) {
+    received_probes_.insert(FlowKey{probe->flow, probe->seq});
+    return;
+  }
+}
+
+SessionResult NetalyzrClient::run_basic(sim::Network& net,
+                                        NetalyzrServer& server) {
+  SessionResult result;
+  result.asn = ctx_.asn;
+  result.cellular = ctx_.cellular;
+  result.ip_dev = ctx_.device_address;
+  if (ctx_.upnp_cpe) {
+    result.ip_cpe = ctx_.upnp_cpe->upnp_external_address();
+    result.cpe_model = ctx_.upnp_cpe->config().name;
+  }
+
+  // Ten sequential TCP flows to the echo server (§6.2).
+  for (int i = 0; i < 10; ++i) {
+    std::uint16_t port = next_ephemeral_port();
+    bind(port);
+    std::uint64_t tx = next_tx_++;
+    last_echo_.reset();
+    sim::Packet pkt = sim::Packet::tcp({ctx_.device_address, port},
+                                       server.echo_endpoint());
+    pkt.payload = NetalyzrMessage{EchoRequest{tx}};
+    net.send(std::move(pkt), ctx_.host);
+    if (last_echo_ && last_echo_->tx == tx) {
+      result.tcp_flows.push_back(FlowObservation{port, last_echo_->observed});
+      if (!result.ip_pub) result.ip_pub = last_echo_->observed.address;
+    }
+  }
+  return result;
+}
+
+void NetalyzrClient::run_stun(sim::Network& net,
+                              const stun::StunServer& server,
+                              SessionResult& result) {
+  std::uint16_t port = next_ephemeral_port();
+  stun::StunClient client(ctx_.host, {ctx_.device_address, port}, *demux_);
+  result.stun = client.classify(net, server);
+}
+
+std::optional<bool> NetalyzrClient::reachability_experiment(
+    sim::Network& net, sim::Clock& clock, NetalyzrServer& server,
+    int path_hops, int hop, double tidle, double keepalive_interval) {
+  const std::uint64_t flow = rng_.uniform(1, ~std::uint64_t{0} - 1);
+  const std::uint16_t port = next_ephemeral_port();
+  bind(port);
+  const netcore::Endpoint local{ctx_.device_address, port};
+
+  // (a) Initialization packet: creates NAT state on every hop.
+  last_ack_.reset();
+  sim::Packet init = sim::Packet::udp(local, server.udp_endpoint());
+  init.payload = NetalyzrMessage{UdpInit{flow}};
+  net.send(std::move(init), ctx_.host);
+  if (!last_ack_ || last_ack_->flow != flow) return std::nullopt;
+
+  // (b) TTL-limited keepalives from both ends during the idle period.
+  // ttl_c = hop dies exactly at the hop under test, refreshing hops 1..h-1;
+  // ttl_s = path_hops+1-hop dies there from the other side, refreshing the
+  // server-side hops. The hop under test is starved.
+  const int ttl_c = hop;
+  const int ttl_s = path_hops + 1 - hop;
+  double elapsed = 0.0;
+  while (elapsed + keepalive_interval < tidle) {
+    clock.advance(keepalive_interval);
+    elapsed += keepalive_interval;
+    sim::Packet ka = sim::Packet::udp(local, server.udp_endpoint(), ttl_c);
+    ka.payload = NetalyzrMessage{UdpKeepalive{flow}};
+    net.send(std::move(ka), ctx_.host);
+    server.send_keepalive(net, flow, ttl_s);
+  }
+  clock.advance(tidle - elapsed);
+
+  // (c) Full-TTL reachability probe from the server.
+  const std::uint64_t seq = next_tx_++;
+  server.send_probe(net, flow, seq);
+  return received_probes_.contains(FlowKey{flow, seq});
+}
+
+void NetalyzrClient::run_enumeration(sim::Network& net, sim::Clock& clock,
+                                     NetalyzrServer& server,
+                                     const TtlEnumConfig& config,
+                                     SessionResult& result) {
+  TtlEnumResult out;
+
+  // Path length discovery: the shortest TTL whose init gets acknowledged has
+  // crossed every intermediate hop.
+  int path_hops = -1;
+  for (int ttl = 1; ttl <= config.max_hops + 1; ++ttl) {
+    const std::uint64_t flow = rng_.uniform(1, ~std::uint64_t{0} - 1);
+    const std::uint16_t port = next_ephemeral_port();
+    bind(port);
+    last_ack_.reset();
+    sim::Packet init =
+        sim::Packet::udp({ctx_.device_address, port}, server.udp_endpoint(), ttl);
+    init.payload = NetalyzrMessage{UdpInit{flow}};
+    net.send(std::move(init), ctx_.host);
+    ++out.experiments;
+    if (last_ack_ && last_ack_->flow == flow) {
+      path_hops = ttl - 1;
+      break;
+    }
+  }
+  if (path_hops < 0) {
+    result.enumeration = out;  // could not even reach the server
+    return;
+  }
+  out.path_hops = path_hops;
+
+  // Pass 1: statefulness of every hop at the maximum idle period.
+  std::vector<int> stateful_hops;
+  for (int hop = 1; hop <= path_hops; ++hop) {
+    auto reachable = reachability_experiment(net, clock, server, path_hops,
+                                             hop, config.max_idle_s,
+                                             config.keepalive_interval_s);
+    ++out.experiments;
+    NatHopObservation obs;
+    obs.hop = hop;
+    obs.stateful = reachable.has_value() && !*reachable;
+    out.hops.push_back(obs);
+    if (obs.stateful) stateful_hops.push_back(hop);
+  }
+
+  // Pass 2: timeout sweep per stateful hop, at keepalive granularity.
+  for (int hop : stateful_hops) {
+    for (double tidle = config.keepalive_interval_s;
+         tidle <= config.max_idle_s; tidle += config.keepalive_interval_s) {
+      auto reachable = reachability_experiment(net, clock, server, path_hops,
+                                               hop, tidle,
+                                               config.keepalive_interval_s);
+      ++out.experiments;
+      if (reachable.has_value() && !*reachable) {
+        out.hops[static_cast<std::size_t>(hop - 1)].timeout_s = tidle;
+        break;
+      }
+    }
+  }
+
+  result.enumeration = out;
+}
+
+}  // namespace cgn::netalyzr

@@ -1,0 +1,110 @@
+// The Netalyzr client: runs the paper's measurement tests from an end-user
+// device inside the simulated network.
+//
+//  * Address test (§4.2): collect IPdev (local config), IPcpe (UPnP query to
+//    the CPE) and IPpub (server-observed).
+//  * Port-translation test (§6.2): ten sequential TCP flows to the echo
+//    server, comparing chosen vs observed source ports; also reveals NAT
+//    pooling via the set of observed public addresses.
+//  * TTL-driven NAT enumeration (§6.3): per-hop reachability experiments
+//    with TTL-limited keepalives from both ends, locating stateful hops and
+//    measuring their mapping timeouts.
+//  * STUN test (§6.3): RFC 3489 classification via cgn::stun.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "nat/nat_device.hpp"
+#include "netalyzr/messages.hpp"
+#include "netalyzr/server.hpp"
+#include "netalyzr/session.hpp"
+#include "sim/demux.hpp"
+#include "sim/rng.hpp"
+#include "stun/stun.hpp"
+
+namespace cgn::netalyzr {
+
+/// Static facts about the vantage point a session runs from.
+struct ClientContext {
+  sim::NodeId host = sim::kNoNode;
+  netcore::Ipv4Address device_address;
+  netcore::Asn asn = 0;
+  bool cellular = false;
+  /// UPnP channel to the first-hop CPE, when the CPE offers UPnP (the paper
+  /// could query it in ~40% of sessions). Null when unavailable.
+  const nat::NatDevice* upnp_cpe = nullptr;
+};
+
+struct TtlEnumConfig {
+  /// Longest idle period tested; the paper caps at 200 s to bound session
+  /// runtime, so longer NAT timeouts go unnoticed.
+  double max_idle_s = 200.0;
+  /// Keepalive cadence (also the timeout measurement granularity).
+  double keepalive_interval_s = 10.0;
+  /// Hop-search upper bound.
+  int max_hops = 24;
+};
+
+class NetalyzrClient {
+ public:
+  NetalyzrClient(ClientContext context, sim::PortDemux& demux, sim::Rng rng);
+  ~NetalyzrClient();
+
+  NetalyzrClient(const NetalyzrClient&) = delete;
+  NetalyzrClient& operator=(const NetalyzrClient&) = delete;
+
+  /// Address + port-translation tests. Always the first call of a session.
+  [[nodiscard]] SessionResult run_basic(sim::Network& net,
+                                        NetalyzrServer& server);
+
+  /// STUN classification; stores the outcome into `result`.
+  void run_stun(sim::Network& net, const stun::StunServer& server,
+                SessionResult& result);
+
+  /// TTL-driven NAT enumeration; advances `clock` through the idle periods
+  /// and stores the outcome into `result`.
+  void run_enumeration(sim::Network& net, sim::Clock& clock,
+                       NetalyzrServer& server, const TtlEnumConfig& config,
+                       SessionResult& result);
+
+ private:
+  struct FlowKey {
+    std::uint64_t flow;
+    std::uint64_t seq;
+    bool operator==(const FlowKey&) const = default;
+  };
+  struct FlowKeyHash {
+    std::size_t operator()(const FlowKey& k) const noexcept {
+      return std::hash<std::uint64_t>{}(k.flow * 1099511628211ull + k.seq);
+    }
+  };
+
+  void handle(sim::Network& net, const sim::Packet& pkt);
+  std::uint16_t next_ephemeral_port();
+  void bind(std::uint16_t port);
+  /// One §6.3 reachability experiment for hop `h` with idle period `tidle`.
+  /// Returns true when the final server probe reached the client, nullopt
+  /// when the experiment could not be set up (init never acked).
+  std::optional<bool> reachability_experiment(sim::Network& net,
+                                              sim::Clock& clock,
+                                              NetalyzrServer& server,
+                                              int path_hops, int hop,
+                                              double tidle,
+                                              double keepalive_interval);
+
+  ClientContext ctx_;
+  sim::PortDemux* demux_;
+  sim::Rng rng_;
+  std::vector<std::uint16_t> bound_ports_;
+
+  std::uint16_t ephemeral_cursor_ = 0;
+  std::uint64_t next_tx_ = 1;
+
+  std::optional<EchoResponse> last_echo_;
+  std::optional<UdpInitAck> last_ack_;
+  std::unordered_set<FlowKey, FlowKeyHash> received_probes_;
+};
+
+}  // namespace cgn::netalyzr

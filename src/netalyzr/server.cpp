@@ -1,0 +1,60 @@
+#include "netalyzr/server.hpp"
+
+namespace cgn::netalyzr {
+
+void NetalyzrServer::install(sim::Network& net) {
+  net.add_local_address(host_, address_);
+  net.register_address(address_, host_, net.root());
+  net.set_receiver(host_, [this](sim::Network& n, const sim::Packet& p) {
+    handle(n, p);
+  });
+}
+
+void NetalyzrServer::handle(sim::Network& net, const sim::Packet& pkt) {
+  const auto* msg = std::any_cast<NetalyzrMessage>(&pkt.payload);
+  if (!msg) return;
+  if (const auto* echo = std::get_if<EchoRequest>(msg)) {
+    sim::Packet reply =
+        sim::Packet::tcp(pkt.dst, pkt.src, sim::TcpFlag::none);
+    reply.payload = NetalyzrMessage{EchoResponse{echo->tx, pkt.src}};
+    net.send(std::move(reply), host_);
+    return;
+  }
+  if (const auto* init = std::get_if<UdpInit>(msg)) {
+    flows_[init->flow] = pkt.src;
+    sim::Packet reply = sim::Packet::udp(pkt.dst, pkt.src);
+    reply.payload = NetalyzrMessage{UdpInitAck{init->flow, pkt.src}};
+    net.send(std::move(reply), host_);
+    return;
+  }
+  // Client-side keepalives need no reply; their job is refreshing NAT state
+  // on the hops they cross (most never arrive here at all).
+}
+
+std::optional<netcore::Endpoint> NetalyzrServer::observed_endpoint(
+    std::uint64_t flow) const {
+  auto it = flows_.find(flow);
+  if (it == flows_.end()) return std::nullopt;
+  return it->second;
+}
+
+void NetalyzrServer::send_keepalive(sim::Network& net, std::uint64_t flow,
+                                    int ttl) {
+  auto it = flows_.find(flow);
+  if (it == flows_.end()) return;
+  sim::Packet pkt = sim::Packet::udp(udp_endpoint(), it->second, ttl);
+  pkt.payload = NetalyzrMessage{UdpKeepalive{flow}};
+  net.send(std::move(pkt), host_);
+}
+
+bool NetalyzrServer::send_probe(sim::Network& net, std::uint64_t flow,
+                                std::uint64_t seq) {
+  auto it = flows_.find(flow);
+  if (it == flows_.end()) return false;
+  sim::Packet pkt = sim::Packet::udp(udp_endpoint(), it->second);
+  pkt.payload = NetalyzrMessage{UdpProbe{flow, seq}};
+  net.send(std::move(pkt), host_);
+  return true;
+}
+
+}  // namespace cgn::netalyzr

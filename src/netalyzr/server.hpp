@@ -1,0 +1,59 @@
+// The Netalyzr measurement server: a public host offering a TCP echo service
+// (on a high port unlikely to be proxied, per the paper) and a UDP probe
+// service used by the TTL-driven NAT enumeration test. The test driver can
+// also transmit keepalives and probes *from* the server toward a client's
+// mapped endpoint — Netalyzr controls both ends of every experiment.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "netalyzr/messages.hpp"
+#include "netcore/ipv4.hpp"
+#include "sim/network.hpp"
+
+namespace cgn::netalyzr {
+
+class NetalyzrServer {
+ public:
+  static constexpr std::uint16_t kEchoPort = 55777;
+  static constexpr std::uint16_t kUdpPort = 55778;
+
+  NetalyzrServer(sim::NodeId host, netcore::Ipv4Address address)
+      : host_(host), address_(address) {}
+
+  /// Registers address and receiver; the host node must hang off the core.
+  void install(sim::Network& net);
+
+  [[nodiscard]] netcore::Endpoint echo_endpoint() const noexcept {
+    return {address_, kEchoPort};
+  }
+  [[nodiscard]] netcore::Endpoint udp_endpoint() const noexcept {
+    return {address_, kUdpPort};
+  }
+  [[nodiscard]] sim::NodeId host() const noexcept { return host_; }
+
+  /// The observed (mapped) source endpoint of a UDP flow, if its init
+  /// arrived.
+  [[nodiscard]] std::optional<netcore::Endpoint> observed_endpoint(
+      std::uint64_t flow) const;
+
+  /// Sends a TTL-limited keepalive toward the flow's observed endpoint.
+  void send_keepalive(sim::Network& net, std::uint64_t flow, int ttl);
+
+  /// Sends a full-TTL probe toward the flow's observed endpoint; the client
+  /// checks receipt. Returns false when the flow is unknown.
+  bool send_probe(sim::Network& net, std::uint64_t flow, std::uint64_t seq);
+
+  /// Drops all per-flow state (between sessions).
+  void reset() { flows_.clear(); }
+
+ private:
+  void handle(sim::Network& net, const sim::Packet& pkt);
+
+  sim::NodeId host_;
+  netcore::Ipv4Address address_;
+  std::unordered_map<std::uint64_t, netcore::Endpoint> flows_;
+};
+
+}  // namespace cgn::netalyzr

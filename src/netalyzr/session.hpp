@@ -1,0 +1,63 @@
+// Results of one Netalyzr measurement session (paper §4.2, §6).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netcore/as_registry.hpp"
+#include "netcore/ipv4.hpp"
+#include "stun/stun.hpp"
+
+namespace cgn::netalyzr {
+
+/// One TCP echo flow of the port-translation test.
+struct FlowObservation {
+  std::uint16_t local_port = 0;     ///< ephemeral port chosen by the device
+  netcore::Endpoint observed;       ///< src endpoint the server saw
+};
+
+/// One hop's verdict from the TTL-driven NAT enumeration test.
+struct NatHopObservation {
+  int hop = 0;             ///< distance from the client (client = hop 0)
+  bool stateful = false;   ///< mapping expired when starved of keepalives
+  /// Measured idle timeout (10 s granularity), when `stateful`.
+  std::optional<double> timeout_s;
+};
+
+struct TtlEnumResult {
+  /// Intermediate hops between client and server.
+  int path_hops = 0;
+  std::vector<NatHopObservation> hops;
+  int experiments = 0;  ///< reachability experiments performed
+  [[nodiscard]] bool found_stateful() const noexcept {
+    for (const auto& h : hops)
+      if (h.stateful) return true;
+    return false;
+  }
+  /// Most distant stateful hop (Figure 11), 0 when none found.
+  [[nodiscard]] int most_distant_nat() const noexcept {
+    int best = 0;
+    for (const auto& h : hops)
+      if (h.stateful) best = std::max(best, h.hop);
+    return best;
+  }
+};
+
+/// Aggregated outcome of a full Netalyzr session.
+struct SessionResult {
+  netcore::Asn asn = 0;
+  bool cellular = false;
+
+  netcore::Ipv4Address ip_dev;                 ///< device-local address
+  std::optional<netcore::Ipv4Address> ip_cpe;  ///< CPE external IP via UPnP
+  std::optional<std::string> cpe_model;        ///< CPE model string via UPnP
+  std::optional<netcore::Ipv4Address> ip_pub;  ///< server-observed public IP
+
+  std::vector<FlowObservation> tcp_flows;      ///< port-translation test
+  std::optional<stun::StunOutcome> stun;       ///< STUN test (subset)
+  std::optional<TtlEnumResult> enumeration;    ///< TTL enumeration (subset)
+};
+
+}  // namespace cgn::netalyzr

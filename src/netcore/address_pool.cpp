@@ -1,0 +1,39 @@
+#include "netcore/address_pool.hpp"
+
+#include <algorithm>
+
+namespace cgn::netcore {
+
+Ipv4Prefix PrefixCarver::next(int length) {
+  if (length < parent_.length())
+    throw std::invalid_argument("requested prefix shorter than parent");
+  Ipv4Prefix candidate{Ipv4Address{}, length};
+  const std::uint64_t block = candidate.size();
+  // Align the cursor to the block size.
+  std::uint64_t start = (consumed_ + block - 1) / block * block;
+  if (start + block > parent_.size())
+    throw std::length_error("prefix carver exhausted: " + parent_.to_string());
+  consumed_ = start + block;
+  return Ipv4Prefix{parent_.at(start), length};
+}
+
+AddressPool::AddressPool(const Ipv4Prefix& prefix) {
+  if (prefix.size() > (std::uint64_t{1} << 22))
+    throw std::length_error("refusing to materialize pool > /10");
+  addresses_.reserve(prefix.size());
+  for (std::uint64_t i = 0; i < prefix.size(); ++i)
+    addresses_.push_back(prefix.at(i));
+}
+
+bool AddressPool::contains(Ipv4Address a) const noexcept {
+  return std::find(addresses_.begin(), addresses_.end(), a) != addresses_.end();
+}
+
+Ipv4Address AddressPool::next() {
+  if (addresses_.empty()) throw std::length_error("empty address pool");
+  Ipv4Address a = addresses_[cursor_];
+  cursor_ = (cursor_ + 1) % addresses_.size();
+  return a;
+}
+
+}  // namespace cgn::netcore

@@ -1,0 +1,66 @@
+// Sequential allocators for carving address blocks out of the IPv4 space.
+//
+// The scenario generator uses one PoolAllocator over the public space to hand
+// each ISP its public prefixes, and each NAT uses an AddressPool to draw its
+// external addresses from (the paper's "NAT pooling", §3).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "netcore/ipv4.hpp"
+
+namespace cgn::netcore {
+
+/// Carves consecutive sub-prefixes out of one parent prefix.
+class PrefixCarver {
+ public:
+  explicit PrefixCarver(Ipv4Prefix parent) : parent_(parent) {}
+
+  /// Returns the next unallocated /`length` inside the parent prefix.
+  /// Throws std::length_error when the parent is exhausted and
+  /// std::invalid_argument when `length` is shorter than the parent.
+  Ipv4Prefix next(int length);
+
+  /// Addresses handed out so far.
+  [[nodiscard]] std::uint64_t consumed() const noexcept { return consumed_; }
+  [[nodiscard]] std::uint64_t remaining() const noexcept {
+    return parent_.size() - consumed_;
+  }
+  [[nodiscard]] const Ipv4Prefix& parent() const noexcept { return parent_; }
+
+ private:
+  Ipv4Prefix parent_;
+  std::uint64_t consumed_ = 0;
+};
+
+/// An ordered pool of individual addresses (a NAT's external pool, or an
+/// ISP's per-subscriber assignment pool).
+class AddressPool {
+ public:
+  AddressPool() = default;
+  /// Pool covering every address of `prefix`, in order.
+  explicit AddressPool(const Ipv4Prefix& prefix);
+  explicit AddressPool(std::vector<Ipv4Address> addresses)
+      : addresses_(std::move(addresses)) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return addresses_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return addresses_.empty(); }
+  [[nodiscard]] const Ipv4Address& at(std::size_t i) const {
+    return addresses_.at(i);
+  }
+  [[nodiscard]] const std::vector<Ipv4Address>& addresses() const noexcept {
+    return addresses_;
+  }
+  [[nodiscard]] bool contains(Ipv4Address a) const noexcept;
+
+  /// Next address round-robin. Throws std::length_error when empty.
+  Ipv4Address next();
+
+ private:
+  std::vector<Ipv4Address> addresses_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace cgn::netcore

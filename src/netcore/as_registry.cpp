@@ -1,0 +1,64 @@
+#include "netcore/as_registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cgn::netcore {
+
+std::string_view to_string(Rir r) noexcept {
+  switch (r) {
+    case Rir::afrinic: return "AFRINIC";
+    case Rir::apnic: return "APNIC";
+    case Rir::arin: return "ARIN";
+    case Rir::lacnic: return "LACNIC";
+    case Rir::ripe: return "RIPE";
+  }
+  return "?";
+}
+
+void AsRegistry::add(AsInfo info) {
+  if (index_.contains(info.asn))
+    throw std::invalid_argument("duplicate ASN " + std::to_string(info.asn));
+  index_.emplace(info.asn, all_.size());
+  all_.push_back(std::move(info));
+}
+
+const AsInfo& AsRegistry::get(Asn asn) const {
+  auto it = index_.find(asn);
+  if (it == index_.end())
+    throw std::out_of_range("unknown ASN " + std::to_string(asn));
+  return all_[it->second];
+}
+
+const AsInfo* AsRegistry::find(Asn asn) const noexcept {
+  auto it = index_.find(asn);
+  return it == index_.end() ? nullptr : &all_[it->second];
+}
+
+std::size_t AsRegistry::count_pbl_eyeball() const noexcept {
+  return static_cast<std::size_t>(std::count_if(
+      all_.begin(), all_.end(), [](const AsInfo& a) { return a.pbl_eyeball; }));
+}
+
+std::size_t AsRegistry::count_apnic_eyeball() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(all_.begin(), all_.end(),
+                    [](const AsInfo& a) { return a.apnic_eyeball; }));
+}
+
+std::size_t AsRegistry::count_cellular() const noexcept {
+  return static_cast<std::size_t>(std::count_if(
+      all_.begin(), all_.end(), [](const AsInfo& a) { return a.cellular; }));
+}
+
+std::vector<Asn> AsRegistry::eyeballs_in_region(Rir region,
+                                                bool use_apnic_list) const {
+  std::vector<Asn> out;
+  for (const auto& a : all_) {
+    bool eyeball = use_apnic_list ? a.apnic_eyeball : a.pbl_eyeball;
+    if (eyeball && a.region == region) out.push_back(a.asn);
+  }
+  return out;
+}
+
+}  // namespace cgn::netcore

@@ -1,0 +1,69 @@
+// Registry of autonomous systems: region (RIR), eyeball-list membership
+// (Spamhaus PBL / APNIC population analogues) and network type.
+//
+// Table 5 and Figure 6 of the paper slice CGN detection results by exactly
+// these AS populations, so the registry is the denominator provider of the
+// reproduction.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netcore/ipv4.hpp"
+#include "netcore/routing_table.hpp"
+
+namespace cgn::netcore {
+
+/// The five Regional Internet Registries.
+enum class Rir : std::uint8_t { afrinic, apnic, arin, lacnic, ripe };
+
+inline constexpr int kRirCount = 5;
+
+[[nodiscard]] std::string_view to_string(Rir r) noexcept;
+
+/// Static facts about one AS.
+struct AsInfo {
+  Asn asn = 0;
+  std::string name;
+  Rir region = Rir::arin;
+  bool cellular = false;       ///< operates a cellular (mobile data) network
+  bool pbl_eyeball = false;    ///< on the Spamhaus-PBL-derived eyeball list
+  bool apnic_eyeball = false;  ///< on the APNIC-population-derived eyeball list
+
+  [[nodiscard]] bool eyeball() const noexcept {
+    return pbl_eyeball || apnic_eyeball;
+  }
+};
+
+/// Lookup table of all routed ASes in the synthetic Internet.
+class AsRegistry {
+ public:
+  /// Registers an AS. Throws std::invalid_argument on duplicate ASN.
+  void add(AsInfo info);
+
+  [[nodiscard]] bool contains(Asn asn) const noexcept {
+    return index_.contains(asn);
+  }
+  /// Throws std::out_of_range for unknown ASNs.
+  [[nodiscard]] const AsInfo& get(Asn asn) const;
+  [[nodiscard]] const AsInfo* find(Asn asn) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return all_.size(); }
+  [[nodiscard]] const std::vector<AsInfo>& all() const noexcept { return all_; }
+
+  [[nodiscard]] std::size_t count_pbl_eyeball() const noexcept;
+  [[nodiscard]] std::size_t count_apnic_eyeball() const noexcept;
+  [[nodiscard]] std::size_t count_cellular() const noexcept;
+  /// Eyeball ASes (per `which` list) within one region.
+  [[nodiscard]] std::vector<Asn> eyeballs_in_region(Rir region,
+                                                    bool use_apnic_list) const;
+
+ private:
+  std::vector<AsInfo> all_;
+  std::unordered_map<Asn, std::size_t> index_;
+};
+
+}  // namespace cgn::netcore

@@ -1,0 +1,128 @@
+#include "netcore/ipv4.hpp"
+
+#include <array>
+#include <charconv>
+
+namespace cgn::netcore {
+
+std::optional<Ipv4Address> Ipv4Address::try_parse(
+    std::string_view text) noexcept {
+  std::array<std::uint32_t, 4> octets{};
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  for (int i = 0; i < 4; ++i) {
+    if (p == end) return std::nullopt;
+    auto [next, ec] = std::from_chars(p, end, octets[i]);
+    if (ec != std::errc{} || next == p || octets[i] > 255) return std::nullopt;
+    p = next;
+    if (i < 3) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+  }
+  if (p != end) return std::nullopt;
+  return Ipv4Address(static_cast<std::uint8_t>(octets[0]),
+                     static_cast<std::uint8_t>(octets[1]),
+                     static_cast<std::uint8_t>(octets[2]),
+                     static_cast<std::uint8_t>(octets[3]));
+}
+
+Ipv4Address Ipv4Address::parse(std::string_view text) {
+  auto a = try_parse(text);
+  if (!a) throw std::invalid_argument("bad IPv4 address: " + std::string(text));
+  return *a;
+}
+
+std::string Ipv4Address::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int i = 0; i < 4; ++i) {
+    if (i) out.push_back('.');
+    out += std::to_string(octet(i));
+  }
+  return out;
+}
+
+std::string_view to_string(Protocol p) noexcept {
+  return p == Protocol::udp ? "udp" : "tcp";
+}
+
+std::string Endpoint::to_string() const {
+  return address.to_string() + ":" + std::to_string(port);
+}
+
+Ipv4Prefix::Ipv4Prefix(Ipv4Address address, int length) : length_(length) {
+  if (length < 0 || length > 32)
+    throw std::invalid_argument("prefix length out of range");
+  address_ = Ipv4Address(address.value() & mask());
+}
+
+Ipv4Prefix Ipv4Prefix::parse(std::string_view text) {
+  auto slash = text.find('/');
+  if (slash == std::string_view::npos)
+    throw std::invalid_argument("missing '/' in prefix: " + std::string(text));
+  auto addr = Ipv4Address::parse(text.substr(0, slash));
+  int len = 0;
+  auto len_text = text.substr(slash + 1);
+  auto [next, ec] =
+      std::from_chars(len_text.data(), len_text.data() + len_text.size(), len);
+  if (ec != std::errc{} || next != len_text.data() + len_text.size())
+    throw std::invalid_argument("bad prefix length: " + std::string(text));
+  return {addr, len};
+}
+
+Ipv4Address Ipv4Prefix::at(std::uint64_t i) const {
+  if (i >= size()) throw std::out_of_range("address index beyond prefix size");
+  return Ipv4Address(address_.value() + static_cast<std::uint32_t>(i));
+}
+
+std::string Ipv4Prefix::to_string() const {
+  return address_.to_string() + "/" + std::to_string(length_);
+}
+
+namespace {
+const Ipv4Prefix k192{Ipv4Address{192, 168, 0, 0}, 16};
+const Ipv4Prefix k172{Ipv4Address{172, 16, 0, 0}, 12};
+const Ipv4Prefix k10{Ipv4Address{10, 0, 0, 0}, 8};
+const Ipv4Prefix k100{Ipv4Address{100, 64, 0, 0}, 10};
+}  // namespace
+
+ReservedRange classify_reserved(Ipv4Address a) noexcept {
+  if (k192.contains(a)) return ReservedRange::r192;
+  if (k172.contains(a)) return ReservedRange::r172;
+  if (k10.contains(a)) return ReservedRange::r10;
+  if (k100.contains(a)) return ReservedRange::r100;
+  return ReservedRange::none;
+}
+
+bool is_reserved(Ipv4Address a) noexcept {
+  return classify_reserved(a) != ReservedRange::none;
+}
+
+Ipv4Prefix prefix_of(ReservedRange r) {
+  switch (r) {
+    case ReservedRange::r192: return k192;
+    case ReservedRange::r172: return k172;
+    case ReservedRange::r10: return k10;
+    case ReservedRange::r100: return k100;
+    case ReservedRange::none: break;
+  }
+  throw std::invalid_argument("prefix_of(ReservedRange::none)");
+}
+
+std::string_view shorthand(ReservedRange r) noexcept {
+  switch (r) {
+    case ReservedRange::r192: return "192X";
+    case ReservedRange::r172: return "172X";
+    case ReservedRange::r10: return "10X";
+    case ReservedRange::r100: return "100X";
+    case ReservedRange::none: return "none";
+  }
+  return "none";
+}
+
+Ipv4Prefix slash24_of(Ipv4Address a) noexcept {
+  return Ipv4Prefix{Ipv4Address{a.value() & 0xFFFFFF00u}, 24};
+}
+
+}  // namespace cgn::netcore

@@ -1,0 +1,143 @@
+// IPv4 addressing primitives: addresses, endpoints, prefixes and the
+// reserved-range taxonomy of Table 1 of the paper (RFC 1918 + RFC 6598).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace cgn::netcore {
+
+/// A single IPv4 address stored in host byte order.
+///
+/// The value type is deliberately tiny (a wrapped `uint32_t`) so it can be
+/// used as a map key and passed by value everywhere.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  /// Parses dotted-quad notation ("192.168.1.7"). Throws std::invalid_argument
+  /// on malformed input; use try_parse for a non-throwing variant.
+  static Ipv4Address parse(std::string_view text);
+  static std::optional<Ipv4Address> try_parse(std::string_view text) noexcept;
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+  [[nodiscard]] constexpr std::uint8_t octet(int i) const {
+    if (i < 0 || i > 3) throw std::out_of_range("octet index");
+    return static_cast<std::uint8_t>(value_ >> (8 * (3 - i)));
+  }
+  [[nodiscard]] std::string to_string() const;
+
+  auto operator<=>(const Ipv4Address&) const = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// Transport protocol of a flow or packet.
+enum class Protocol : std::uint8_t { udp, tcp };
+
+[[nodiscard]] std::string_view to_string(Protocol p) noexcept;
+
+/// An (address, port) transport endpoint.
+struct Endpoint {
+  Ipv4Address address;
+  std::uint16_t port = 0;
+
+  auto operator<=>(const Endpoint&) const = default;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// A CIDR prefix. `length` bits of `address` are significant; host bits are
+/// normalized to zero at construction time.
+class Ipv4Prefix {
+ public:
+  constexpr Ipv4Prefix() = default;
+  Ipv4Prefix(Ipv4Address address, int length);
+
+  /// Parses "10.0.0.0/8". Throws std::invalid_argument on malformed input.
+  static Ipv4Prefix parse(std::string_view text);
+
+  [[nodiscard]] Ipv4Address address() const noexcept { return address_; }
+  [[nodiscard]] int length() const noexcept { return length_; }
+  [[nodiscard]] std::uint32_t mask() const noexcept {
+    return length_ == 0 ? 0u : ~std::uint32_t{0} << (32 - length_);
+  }
+  [[nodiscard]] bool contains(Ipv4Address a) const noexcept {
+    return (a.value() & mask()) == address_.value();
+  }
+  [[nodiscard]] bool contains(const Ipv4Prefix& other) const noexcept {
+    return other.length_ >= length_ && contains(other.address_);
+  }
+  /// Number of addresses covered (2^(32-length)), saturating at 2^32-1 for /0.
+  [[nodiscard]] std::uint64_t size() const noexcept {
+    return std::uint64_t{1} << (32 - length_);
+  }
+  /// The i-th address inside the prefix. Throws std::out_of_range if i >= size().
+  [[nodiscard]] Ipv4Address at(std::uint64_t i) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  auto operator<=>(const Ipv4Prefix&) const = default;
+
+ private:
+  Ipv4Address address_;
+  int length_ = 0;
+};
+
+/// The reserved-for-internal-use ranges of Table 1 in the paper.
+enum class ReservedRange : std::uint8_t {
+  none,  ///< not a reserved address
+  r192,  ///< 192.168.0.0/16  (RFC 1918, "commonly used in CPE")
+  r172,  ///< 172.16.0.0/12   (RFC 1918)
+  r10,   ///< 10.0.0.0/8      (RFC 1918)
+  r100,  ///< 100.64.0.0/10   (RFC 6598, "for CGN deployments")
+};
+
+/// All four reserved ranges, in Table 1 order.
+inline constexpr int kReservedRangeCount = 4;
+
+[[nodiscard]] ReservedRange classify_reserved(Ipv4Address a) noexcept;
+[[nodiscard]] bool is_reserved(Ipv4Address a) noexcept;
+[[nodiscard]] Ipv4Prefix prefix_of(ReservedRange r);
+/// Paper shorthand: "192X", "172X", "10X", "100X" (or "none").
+[[nodiscard]] std::string_view shorthand(ReservedRange r) noexcept;
+
+/// The /24 containing `a` — the unit of the paper's internal-address
+/// diversity heuristics (Figure 5) and of its CPE-block filter.
+[[nodiscard]] Ipv4Prefix slash24_of(Ipv4Address a) noexcept;
+
+}  // namespace cgn::netcore
+
+template <>
+struct std::hash<cgn::netcore::Ipv4Address> {
+  std::size_t operator()(const cgn::netcore::Ipv4Address& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};
+
+template <>
+struct std::hash<cgn::netcore::Endpoint> {
+  std::size_t operator()(const cgn::netcore::Endpoint& e) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (std::uint64_t{e.address.value()} << 16) | e.port);
+  }
+};
+
+template <>
+struct std::hash<cgn::netcore::Ipv4Prefix> {
+  std::size_t operator()(const cgn::netcore::Ipv4Prefix& p) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (std::uint64_t{p.address().value()} << 6) |
+        static_cast<std::uint64_t>(p.length()));
+  }
+};

@@ -1,0 +1,91 @@
+#include "netcore/routing_table.hpp"
+
+namespace cgn::netcore {
+
+struct RoutingTable::TrieNode {
+  std::unique_ptr<TrieNode> child[2];
+  std::optional<Asn> origin;  // set when a prefix terminates here
+};
+
+RoutingTable::RoutingTable() : root_(std::make_unique<TrieNode>()) {}
+RoutingTable::RoutingTable(RoutingTable&&) noexcept = default;
+RoutingTable& RoutingTable::operator=(RoutingTable&&) noexcept = default;
+RoutingTable::~RoutingTable() = default;
+
+namespace {
+inline int bit_at(std::uint32_t value, int depth) {
+  // depth 0 = most significant bit.
+  return (value >> (31 - depth)) & 1u;
+}
+}  // namespace
+
+void RoutingTable::announce(const Ipv4Prefix& prefix, Asn asn) {
+  TrieNode* node = root_.get();
+  for (int depth = 0; depth < prefix.length(); ++depth) {
+    int b = bit_at(prefix.address().value(), depth);
+    if (!node->child[b]) node->child[b] = std::make_unique<TrieNode>();
+    node = node->child[b].get();
+  }
+  if (!node->origin) ++count_;
+  node->origin = asn;
+}
+
+bool RoutingTable::withdraw(const Ipv4Prefix& prefix) {
+  TrieNode* node = root_.get();
+  for (int depth = 0; depth < prefix.length(); ++depth) {
+    int b = bit_at(prefix.address().value(), depth);
+    if (!node->child[b]) return false;
+    node = node->child[b].get();
+  }
+  if (!node->origin) return false;
+  node->origin.reset();
+  --count_;
+  return true;
+}
+
+std::optional<RoutingTable::Route> RoutingTable::lookup(Ipv4Address a) const {
+  const TrieNode* node = root_.get();
+  std::optional<Route> best;
+  for (int depth = 0; depth <= 32; ++depth) {
+    if (node->origin)
+      best = Route{Ipv4Prefix{Ipv4Address{a.value()}, depth}, *node->origin};
+    if (depth == 32) break;
+    int b = bit_at(a.value(), depth);
+    if (!node->child[b]) break;
+    node = node->child[b].get();
+  }
+  return best;
+}
+
+std::optional<Asn> RoutingTable::origin_of(Ipv4Address a) const {
+  auto r = lookup(a);
+  if (!r) return std::nullopt;
+  return r->origin;
+}
+
+std::vector<RoutingTable::Route> RoutingTable::routes() const {
+  std::vector<Route> out;
+  out.reserve(count_);
+  struct Frame {
+    const TrieNode* node;
+    std::uint32_t addr;
+    int depth;
+  };
+  std::vector<Frame> stack{{root_.get(), 0, 0}};
+  while (!stack.empty()) {
+    auto [node, addr, depth] = stack.back();
+    stack.pop_back();
+    if (node->origin)
+      out.push_back({Ipv4Prefix{Ipv4Address{addr}, depth}, *node->origin});
+    for (int b = 1; b >= 0; --b) {
+      if (node->child[b]) {
+        std::uint32_t next =
+            b ? addr | (std::uint32_t{1} << (31 - depth)) : addr;
+        stack.push_back({node->child[b].get(), next, depth + 1});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cgn::netcore

@@ -1,0 +1,64 @@
+// A global-routing-table model: longest-prefix-match over announced prefixes.
+//
+// The paper classifies observed addresses as "routed" or "unrouted" by
+// consulting the global BGP table (Table 4: unrouted / routed match /
+// routed mismatch). This binary-trie LPM structure plays that role for the
+// synthetic Internet.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "netcore/ipv4.hpp"
+
+namespace cgn::netcore {
+
+/// An autonomous system number.
+using Asn = std::uint32_t;
+
+/// Longest-prefix-match table mapping announced prefixes to origin ASNs.
+class RoutingTable {
+ public:
+  RoutingTable();
+  RoutingTable(RoutingTable&&) noexcept;
+  RoutingTable& operator=(RoutingTable&&) noexcept;
+  ~RoutingTable();
+
+  RoutingTable(const RoutingTable&) = delete;
+  RoutingTable& operator=(const RoutingTable&) = delete;
+
+  /// Announces `prefix` with origin `asn`. Re-announcing an identical prefix
+  /// overwrites the previous origin (last announcement wins).
+  void announce(const Ipv4Prefix& prefix, Asn asn);
+
+  /// Withdraws an exact prefix. Returns false if the prefix was not announced.
+  bool withdraw(const Ipv4Prefix& prefix);
+
+  struct Route {
+    Ipv4Prefix prefix;
+    Asn origin = 0;
+  };
+
+  /// Longest-prefix match. Empty when no covering prefix is announced.
+  [[nodiscard]] std::optional<Route> lookup(Ipv4Address a) const;
+
+  /// True when some announced prefix covers `a`.
+  [[nodiscard]] bool is_routed(Ipv4Address a) const { return lookup(a).has_value(); }
+
+  /// Origin ASN for `a`, or nullopt when unrouted.
+  [[nodiscard]] std::optional<Asn> origin_of(Ipv4Address a) const;
+
+  [[nodiscard]] std::size_t prefix_count() const noexcept { return count_; }
+
+  /// All announced routes (in trie order). Intended for reporting/tests.
+  [[nodiscard]] std::vector<Route> routes() const;
+
+ private:
+  struct TrieNode;
+  std::unique_ptr<TrieNode> root_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace cgn::netcore

@@ -1,0 +1,180 @@
+#include "report/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace cgn::report {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << "  " << std::left << std::setw(static_cast<int>(widths[c]))
+         << row[c];
+    }
+    os << "\n";
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  os << "  " << std::string(total - 2, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string pct(double fraction) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << fraction * 100.0 << "%";
+  return os.str();
+}
+
+std::string num(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string count(std::uint64_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  int since_sep = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (since_sep == 3) {
+      out.push_back(',');
+      since_sep = 0;
+    }
+    out.push_back(*it);
+    ++since_sep;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+void bar_chart(std::ostream& os, const std::vector<std::string>& labels,
+               const std::vector<double>& values, int width,
+               const std::string& unit) {
+  double max_value = 0;
+  for (double v : values) max_value = std::max(max_value, v);
+  std::size_t label_w = 0;
+  for (const auto& l : labels) label_w = std::max(label_w, l.size());
+  for (std::size_t i = 0; i < labels.size() && i < values.size(); ++i) {
+    int bar = max_value > 0 ? static_cast<int>(std::lround(
+                                  values[i] / max_value * width))
+                            : 0;
+    os << "  " << std::left << std::setw(static_cast<int>(label_w))
+       << labels[i] << " |" << std::string(static_cast<std::size_t>(bar), '#')
+       << " " << num(values[i]) << unit << "\n";
+  }
+}
+
+void stacked_bars(std::ostream& os, const std::vector<std::string>& row_labels,
+                  const std::vector<std::string>& segment_labels,
+                  const std::vector<std::vector<double>>& series, int width) {
+  static constexpr char kGlyphs[] = {'#', '=', ':', '.', '+', '%', 'o'};
+  std::size_t label_w = 0;
+  for (const auto& l : row_labels) label_w = std::max(label_w, l.size());
+
+  for (std::size_t r = 0; r < row_labels.size() && r < series.size(); ++r) {
+    os << "  " << std::left << std::setw(static_cast<int>(label_w))
+       << row_labels[r] << " |";
+    int used = 0;
+    for (std::size_t s = 0; s < series[r].size(); ++s) {
+      int seg = static_cast<int>(std::lround(series[r][s] * width));
+      seg = std::min(seg, width - used);
+      os << std::string(static_cast<std::size_t>(std::max(seg, 0)),
+                        kGlyphs[s % sizeof(kGlyphs)]);
+      used += std::max(seg, 0);
+    }
+    os << std::string(static_cast<std::size_t>(std::max(width - used, 0)), ' ')
+       << "|\n";
+  }
+  os << "  legend:";
+  for (std::size_t s = 0; s < segment_labels.size(); ++s)
+    os << "  " << kGlyphs[s % sizeof(kGlyphs)] << "=" << segment_labels[s];
+  os << "\n";
+}
+
+void scatter_loglog(std::ostream& os, const std::vector<ScatterPoint>& points,
+                    double x_thresh, double y_thresh, int cols, int rows) {
+  if (points.empty()) {
+    os << "  (no data)\n";
+    return;
+  }
+  double max_x = 1, max_y = 1;
+  for (const auto& p : points) {
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+  auto log_scale = [](double v, double max_v, int n) {
+    if (v < 1) v = 1;
+    double f = std::log(v) / std::log(std::max(max_v, 2.0));
+    int idx = static_cast<int>(f * (n - 1));
+    return std::clamp(idx, 0, n - 1);
+  };
+  std::vector<std::string> grid(static_cast<std::size_t>(rows),
+                                std::string(static_cast<std::size_t>(cols), ' '));
+  for (const auto& p : points) {
+    int cx = log_scale(p.x, max_x, cols);
+    int cy = log_scale(p.y, max_y, rows);
+    char& cell = grid[static_cast<std::size_t>(rows - 1 - cy)]
+                     [static_cast<std::size_t>(cx)];
+    cell = cell == ' ' ? '.' : (cell == '.' ? 'o' : '@');
+  }
+  // Detection boundary (points at or beyond both thresholds are positives).
+  if (x_thresh > 0 && y_thresh > 0) {
+    int bx = log_scale(x_thresh, max_x, cols);
+    int by = log_scale(y_thresh, max_y, rows);
+    for (int r = 0; r < rows - 1 - by; ++r) {
+      char& cell = grid[static_cast<std::size_t>(r)][static_cast<std::size_t>(bx)];
+      if (cell == ' ') cell = '|';
+    }
+    for (int c = bx; c < cols; ++c) {
+      char& cell =
+          grid[static_cast<std::size_t>(rows - 1 - by)][static_cast<std::size_t>(c)];
+      if (cell == ' ') cell = '-';
+    }
+  }
+  os << "  y: log scale, max=" << num(max_y, 0)
+     << "   x: log scale, max=" << num(max_x, 0) << "\n";
+  for (const auto& line : grid) os << "  |" << line << "\n";
+  os << "  +" << std::string(static_cast<std::size_t>(cols), '-') << "\n";
+}
+
+void boxplot_line(std::ostream& os, const std::string& label, double min,
+                  double q1, double median, double q3, double max,
+                  std::size_t n) {
+  os << "  " << std::left << std::setw(28) << label << " min=" << num(min)
+     << "  q1=" << num(q1) << "  med=" << num(median) << "  q3=" << num(q3)
+     << "  max=" << num(max) << "  (n=" << n << ")\n";
+}
+
+void write_csv(std::ostream& os, const std::vector<std::string>& header,
+               const std::vector<std::vector<std::string>>& rows) {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) os << ",";
+      os << cells[i];
+    }
+    os << "\n";
+  };
+  emit(header);
+  for (const auto& row : rows) emit(row);
+}
+
+}  // namespace cgn::report

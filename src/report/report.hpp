@@ -1,0 +1,65 @@
+// Plain-text rendering of tables and figure-like charts, so each bench
+// binary can print the same rows/series the paper reports.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cgn::report {
+
+/// Fixed-width table with a header row; column widths auto-fit.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  Table& add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "12.3%" with one decimal.
+[[nodiscard]] std::string pct(double fraction);
+/// Fixed-precision double.
+[[nodiscard]] std::string num(double value, int precision = 1);
+/// Counts with thousands separators ("21,500,000").
+[[nodiscard]] std::string count(std::uint64_t n);
+
+/// Horizontal bar chart: one line per (label, value).
+void bar_chart(std::ostream& os, const std::vector<std::string>& labels,
+               const std::vector<double>& values, int width = 50,
+               const std::string& unit = "");
+
+/// Stacked horizontal bars whose segments sum to 100% per row (Figures 7(a),
+/// 9, 13). `series` holds per-segment fractions for each row.
+void stacked_bars(std::ostream& os, const std::vector<std::string>& row_labels,
+                  const std::vector<std::string>& segment_labels,
+                  const std::vector<std::vector<double>>& series,
+                  int width = 60);
+
+/// Log-log scatter as an ASCII grid (Figures 4, 5), with an optional
+/// rectangular detection boundary drawn at (x_thresh, y_thresh).
+struct ScatterPoint {
+  double x = 0;
+  double y = 0;
+};
+void scatter_loglog(std::ostream& os, const std::vector<ScatterPoint>& points,
+                    double x_thresh = 0, double y_thresh = 0, int cols = 60,
+                    int rows = 20);
+
+/// One-line boxplot rendering: "min |--[ q1 | median | q3 ]--| max (n=..)".
+void boxplot_line(std::ostream& os, const std::string& label, double min,
+                  double q1, double median, double q3, double max,
+                  std::size_t n);
+
+/// Writes rows as CSV (no quoting of separators; keep cells clean).
+void write_csv(std::ostream& os, const std::vector<std::string>& header,
+               const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace cgn::report

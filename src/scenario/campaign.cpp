@@ -1,0 +1,109 @@
+#include "scenario/campaign.hpp"
+
+#include <algorithm>
+
+namespace cgn::scenario {
+
+void run_bittorrent_phase(Internet& internet,
+                          const BitTorrentPhaseConfig& config) {
+  sim::Rng rng = internet.fork_rng();
+  const auto& peers = internet.bt_peers();
+  if (peers.empty()) return;
+
+  // Swarm membership: a couple of global swarms per peer plus, with some
+  // probability, the peer's AS-local swarm (regional content).
+  const std::size_t global_swarms =
+      std::max<std::size_t>(1, peers.size() / config.peers_per_swarm);
+  std::vector<std::vector<std::uint64_t>> memberships(peers.size());
+  {
+    // Peer -> ASN map for local swarm ids.
+    std::unordered_map<const dht::DhtNode*, netcore::Asn> asn_of;
+    for (const IspInstance& isp : internet.isps)
+      for (const Subscriber& s : isp.subscribers)
+        if (s.bt_client) asn_of[s.bt_client] = isp.asn;
+    for (std::size_t i = 0; i < peers.size(); ++i) {
+      for (int k = 0; k < config.swarms_per_peer; ++k)
+        memberships[i].push_back(rng.uniform(1, global_swarms));
+      if (rng.chance(config.local_swarm_join))
+        memberships[i].push_back(1'000'000'000ull + asn_of[peers[i]]);
+    }
+  }
+
+  // Bootstrap everyone into the DHT.
+  for (dht::DhtNode* peer : peers)
+    peer->bootstrap(internet.net, internet.servers.bootstrap_endpoint);
+  internet.clock.advance(config.round_interval_s);
+
+  // Interleave tracker announces and DHT maintenance.
+  for (int round = 0; round < config.maintenance_rounds; ++round) {
+    if (round < config.announce_rounds) {
+      for (std::size_t i = 0; i < peers.size(); ++i)
+        for (std::uint64_t swarm : memberships[i])
+          peers[i]->announce(internet.net,
+                             internet.servers.tracker->endpoint(), swarm);
+    }
+    for (dht::DhtNode* peer : peers) peer->run_maintenance(internet.net);
+    internet.clock.advance(config.round_interval_s);
+  }
+}
+
+std::unique_ptr<crawler::DhtCrawler> run_crawl_phase(
+    Internet& internet, const CrawlPhaseConfig& config) {
+  auto crawler = std::make_unique<crawler::DhtCrawler>(
+      internet.servers.crawler_host, internet.servers.crawler_endpoint,
+      config.crawl, internet.fork_rng());
+  crawler->install(internet.net);
+  crawler->start(internet.net, internet.servers.bootstrap_endpoint);
+
+  std::size_t crawled = 0;
+  while (!crawler->frontier_empty() && crawled < config.max_peers) {
+    crawled += crawler->crawl_step(internet.net, config.peers_per_step);
+    if (config.step_interval_s > 0)
+      internet.clock.advance(config.step_interval_s);
+  }
+  // bt_ping sweep over everything we learned (Table 2 responder counts).
+  while (crawler->ping_step(internet.net, 10'000) > 0) {
+  }
+  return crawler;
+}
+
+std::vector<netalyzr::SessionResult> run_netalyzr_campaign(
+    Internet& internet, const NetalyzrCampaignConfig& config) {
+  sim::Rng rng = internet.fork_rng();
+  std::vector<netalyzr::SessionResult> results;
+
+  for (IspInstance& isp : internet.isps) {
+    if (isp.nz_session_target == 0) continue;
+    // Sessions come from distinct subscribers where possible.
+    std::vector<std::size_t> order(isp.subscribers.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    rng.shuffle(order);
+
+    for (std::size_t k = 0; k < isp.nz_session_target; ++k) {
+      Subscriber& sub = isp.subscribers[order[k % order.size()]];
+      netalyzr::ClientContext ctx;
+      ctx.host = sub.device;
+      ctx.device_address = sub.device_address;
+      ctx.asn = isp.asn;
+      ctx.cellular = isp.cellular;
+      ctx.upnp_cpe = sub.cpe_upnp ? sub.cpe : nullptr;
+
+      netalyzr::NetalyzrClient client(ctx, *sub.demux, rng.fork());
+      netalyzr::SessionResult session =
+          client.run_basic(internet.net, *internet.servers.netalyzr);
+      if (rng.chance(config.stun_fraction))
+        client.run_stun(internet.net, *internet.servers.stun, session);
+      if (rng.chance(config.enum_fraction))
+        client.run_enumeration(internet.net, internet.clock,
+                               *internet.servers.netalyzr, config.enum_config,
+                               session);
+      results.push_back(std::move(session));
+      internet.clock.advance(config.inter_session_gap_s);
+    }
+    // Trim the ISP's NAT state between ASes to bound memory.
+    if (isp.cgn) isp.cgn->collect_garbage(internet.clock.now());
+  }
+  return results;
+}
+
+}  // namespace cgn::scenario

@@ -1,0 +1,63 @@
+// Measurement-campaign drivers over a built Internet:
+//
+//  * run_bittorrent_phase — peers bootstrap into the DHT, announce to the
+//    tracker (joining global and AS-local swarms) and run maintenance
+//    rounds; hairpinned validation traffic is what seeds internal-address
+//    knowledge.
+//  * run_crawl_phase — the §4.1 crawler walks the DHT and bt_pings learned
+//    peers, producing the CrawlDataset.
+//  * run_netalyzr_campaign — per covered AS, runs Netalyzr sessions
+//    (address + port tests always; STUN and TTL enumeration on configurable
+//    subsets, mirroring the paper's staggered test deployment).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "crawler/dht_crawler.hpp"
+#include "netalyzr/client.hpp"
+#include "scenario/internet.hpp"
+
+namespace cgn::scenario {
+
+struct BitTorrentPhaseConfig {
+  int maintenance_rounds = 12;
+  double round_interval_s = 5.0;
+  /// Global swarms are sized so each holds roughly this many peers.
+  std::size_t peers_per_swarm = 60;
+  int swarms_per_peer = 2;
+  /// Probability that a peer also joins its ISP's regional-content swarm —
+  /// the reason peers behind the same CGN end up contacting each other.
+  double local_swarm_join = 0.85;
+  int announce_rounds = 5;
+};
+
+void run_bittorrent_phase(Internet& internet,
+                          const BitTorrentPhaseConfig& config = {});
+
+struct CrawlPhaseConfig {
+  crawler::CrawlConfig crawl;
+  /// Frontier peers processed per step; a maintenance burst for a slice of
+  /// the swarm runs between steps, keeping NAT mappings warm.
+  std::size_t peers_per_step = 500;
+  double step_interval_s = 0.0;
+  std::size_t max_peers = 1'000'000;
+};
+
+/// Runs a full crawl (including the bt_ping sweep) and returns the crawler.
+std::unique_ptr<crawler::DhtCrawler> run_crawl_phase(
+    Internet& internet, const CrawlPhaseConfig& config = {});
+
+struct NetalyzrCampaignConfig {
+  /// Fraction of sessions that additionally run the TTL enumeration test
+  /// (the paper deployed it earlier than STUN; both saw subsets).
+  double enum_fraction = 0.30;
+  double stun_fraction = 0.50;
+  netalyzr::TtlEnumConfig enum_config;
+  double inter_session_gap_s = 300.0;  ///< idle gap between sessions
+};
+
+[[nodiscard]] std::vector<netalyzr::SessionResult> run_netalyzr_campaign(
+    Internet& internet, const NetalyzrCampaignConfig& config = {});
+
+}  // namespace cgn::scenario

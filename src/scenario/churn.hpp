@@ -1,0 +1,38 @@
+// Dynamic-addressing churn: periodically renumber subscribers' public
+// addresses, as residential ISPs do with DHCP/PPPoE leases.
+//
+// This is the confounder the paper's 5x5 cluster rule exists for: "a home
+// network with internal NAT deployment that changes its public IP address"
+// makes one household's leaks appear under several public addresses —
+// a small fake "pool". Renumbering lets the ablation bench demonstrate
+// that low detection thresholds really do produce false positives, and
+// that the paper's choice suppresses them.
+#pragma once
+
+#include <cstdint>
+
+#include "scenario/internet.hpp"
+
+namespace cgn::scenario {
+
+struct ChurnConfig {
+  /// Fraction of non-CGN subscriber lines renumbered per event.
+  double renumber_fraction = 0.30;
+  /// Number of renumbering events to apply.
+  int events = 3;
+};
+
+struct ChurnStats {
+  std::size_t lines_renumbered = 0;
+  std::size_t events_applied = 0;
+};
+
+/// Renumbers a sample of public (non-CGN) subscriber lines: each affected
+/// CPE gets a fresh public address from its ISP's pool; the old address is
+/// deregistered from the core and the new one announced. Existing NAT
+/// mappings keep their old external address and die with it — exactly the
+/// mess real renumbering causes. Call between swarm rounds or crawl steps.
+ChurnStats apply_renumbering_event(Internet& internet,
+                                   const ChurnConfig& config = {});
+
+}  // namespace cgn::scenario

@@ -1,0 +1,463 @@
+#include "scenario/internet.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cgn::scenario {
+
+namespace {
+
+/// Nominally-public /8-style blocks some ISPs deploy internally
+/// (Figure 7(b)); none of them fall inside the announced 16.0.0.0/4 world,
+/// so they classify as "unrouted".
+const char* kUnroutedInternalBlocks[] = {"25.0.0.0/8",  "21.0.0.0/8",
+                                         "26.0.0.0/8",  "29.0.0.0/8",
+                                         "30.0.0.0/8",  "33.0.0.0/8",
+                                         "51.0.0.0/8"};
+
+}  // namespace
+
+/// Performs the actual construction; split from Internet to keep the data
+/// holder readable.
+class InternetBuilder {
+ public:
+  explicit InternetBuilder(Internet& internet)
+      : I_(internet), rng_(I_.rng_.fork()) {}
+
+  void build() {
+    build_universe();
+    build_servers();
+    for (AsPlan& plan : plans_)
+      if (plan.instrumented()) build_isp(plan);
+  }
+
+ private:
+  struct AsPlan {
+    netcore::AsInfo info;
+    netcore::Ipv4Prefix prefix;
+    bool bt = false;
+    bool nz = false;
+    bool cgn = false;
+    [[nodiscard]] bool instrumented() const { return bt || nz; }
+  };
+
+  void build_universe() {
+    const InternetConfig& cfg = I_.config;
+    const std::size_t overlap = static_cast<std::size_t>(
+        cfg.eyeball_list_overlap *
+        static_cast<double>(std::min(cfg.pbl_eyeballs, cfg.apnic_eyeballs)));
+    const std::size_t eyeball_union =
+        cfg.pbl_eyeballs + cfg.apnic_eyeballs - overlap;
+    if (eyeball_union + 1 >= cfg.routed_ases)
+      throw std::invalid_argument("more eyeballs than routed ASes");
+
+    std::vector<double> region_w(cfg.region_share.begin(),
+                                 cfg.region_share.end());
+
+    plans_.reserve(cfg.routed_ases);
+    for (std::size_t i = 0; i < cfg.routed_ases; ++i) {
+      AsPlan plan;
+      plan.info.asn = static_cast<netcore::Asn>(i + 1);
+      plan.info.name = "AS" + std::to_string(plan.info.asn);
+      plan.info.region = static_cast<netcore::Rir>(rng_.weighted(region_w));
+      if (i < eyeball_union) {
+        plan.info.pbl_eyeball = i < cfg.pbl_eyeballs;
+        plan.info.apnic_eyeball = i < overlap || i >= cfg.pbl_eyeballs;
+      }
+      plan.prefix = carver_.next(20);
+      plans_.push_back(std::move(plan));
+    }
+
+    // Cellular networks are a subset of the eyeball population.
+    {
+      std::vector<std::size_t> eyeball_idx(eyeball_union);
+      for (std::size_t i = 0; i < eyeball_union; ++i) eyeball_idx[i] = i;
+      rng_.shuffle(eyeball_idx);
+      for (std::size_t i = 0; i < cfg.cellular_ases && i < eyeball_idx.size();
+           ++i)
+        plans_[eyeball_idx[i]].info.cellular = true;
+    }
+
+    for (AsPlan& plan : plans_) {
+      // Ground-truth CGN deployment.
+      double rate;
+      if (plan.info.cellular) {
+        rate = plan.info.region == netcore::Rir::afrinic
+                   ? cfg.cellular_cgn_rate_afrinic
+                   : cfg.cellular_cgn_rate;
+      } else if (plan.info.eyeball()) {
+        rate = cfg.cgn_rate_by_region[static_cast<std::size_t>(
+            plan.info.region)];
+      } else {
+        rate = cfg.other_cgn_rate;
+      }
+      plan.cgn = rng_.chance(rate);
+      I_.truth_cgn_[plan.info.asn] = plan.cgn;
+
+      // Instrumentation.
+      if (plan.info.cellular) {
+        plan.nz = rng_.chance(cfg.nz_cellular_coverage);
+        plan.bt = rng_.chance(0.25);  // BitTorrent is rare on mobile
+      } else if (plan.info.eyeball()) {
+        plan.bt = rng_.chance(cfg.bt_eyeball_coverage);
+        plan.nz = rng_.chance(cfg.nz_eyeball_coverage);
+      } else {
+        plan.bt = rng_.chance(cfg.bt_other_fraction);
+        plan.nz = rng_.chance(cfg.nz_other_fraction);
+      }
+
+      I_.registry.add(plan.info);
+      I_.routes.announce(plan.prefix, plan.info.asn);
+    }
+  }
+
+  void build_servers() {
+    const InternetConfig& cfg = I_.config;
+    netcore::AsInfo infra;
+    infra.asn = static_cast<netcore::Asn>(cfg.routed_ases + 1);
+    infra.name = "MEASUREMENT-INFRA";
+    infra.region = netcore::Rir::arin;
+    I_.registry.add(infra);
+    netcore::Ipv4Prefix prefix = carver_.next(24);
+    I_.routes.announce(prefix, infra.asn);
+
+    sim::NodeId rack = I_.net.add_router_chain(I_.net.root(),
+                                               cfg.server_side_hops, "infra");
+    Servers& s = I_.servers;
+
+    s.netalyzr_host = I_.net.add_node(rack, "netalyzr-server");
+    s.netalyzr = std::make_unique<netalyzr::NetalyzrServer>(s.netalyzr_host,
+                                                            prefix.at(10));
+    s.netalyzr->install(I_.net);
+
+    s.stun_host = I_.net.add_node(rack, "stun-server");
+    s.stun = std::make_unique<stun::StunServer>(I_.net, s.stun_host,
+                                                prefix.at(20), prefix.at(21),
+                                                3478, 3479);
+    s.stun->install(I_.net);
+
+    s.bootstrap_host = I_.net.add_node(rack, "dht-bootstrap");
+    netcore::Ipv4Address boot_addr = prefix.at(30);
+    I_.net.add_local_address(s.bootstrap_host, boot_addr);
+    I_.net.register_address(boot_addr, s.bootstrap_host, I_.net.root());
+    dht::DhtNodeConfig boot_cfg;
+    boot_cfg.table_capacity = 4096;
+    boot_cfg.validate_before_propagate = false;  // bootstrap hands out leads
+    s.bootstrap = std::make_unique<dht::DhtNode>(
+        dht::NodeId160::random(rng_), netcore::Endpoint{boot_addr, 6881},
+        s.bootstrap_host, boot_cfg, rng_.fork());
+    s.bootstrap_endpoint = {boot_addr, 6881};
+    {
+      dht::DhtNode* boot = s.bootstrap.get();
+      I_.net.set_receiver(s.bootstrap_host,
+                          [boot](sim::Network& n, const sim::Packet& p) {
+                            boot->handle(n, p);
+                          });
+    }
+
+    s.tracker_host = I_.net.add_node(rack, "tracker");
+    s.tracker = std::make_unique<dht::TrackerServer>(s.tracker_host,
+                                                     prefix.at(40),
+                                                     rng_.fork(),
+                                                     /*reply_sample=*/56);
+    s.tracker->install(I_.net);
+
+    s.crawler_host = I_.net.add_node(rack, "crawler");
+    netcore::Ipv4Address crawler_addr = prefix.at(50);
+    I_.net.add_local_address(s.crawler_host, crawler_addr);
+    I_.net.register_address(crawler_addr, s.crawler_host, I_.net.root());
+    s.crawler_endpoint = {crawler_addr, 6881};
+  }
+
+  void build_isp(AsPlan& plan) {
+    const InternetConfig& cfg = I_.config;
+    public_cache_.clear();  // the cache is per-ISP: addresses carry the ASN
+    IspInstance isp;
+    isp.asn = plan.info.asn;
+    isp.cellular = plan.info.cellular;
+
+    netcore::PrefixCarver pool_carver(plan.prefix);
+    (void)pool_carver.next(24);  // skip the block routers would use
+    isp.spare_block = pool_carver.next(24);  // reserved for renumbering
+
+    // Access aggregation under the core.
+    int agg = static_cast<int>(rng_.uniform(
+        static_cast<std::uint64_t>(cfg.agg_hops_lo),
+        static_cast<std::uint64_t>(cfg.agg_hops_hi)));
+    sim::NodeId agg_bottom =
+        I_.net.add_router_chain(I_.net.root(), agg, plan.info.name);
+
+    // Sizing.
+    std::size_t bt_count = 0;
+    if (plan.bt) {
+      if (plan.info.cellular) {
+        bt_count = rng_.uniform(1, static_cast<std::uint64_t>(
+                                       cfg.bt_peers_cellular_hi));
+      } else if (plan.cgn) {
+        bt_count = rng_.uniform(static_cast<std::uint64_t>(cfg.bt_peers_cgn_lo),
+                                static_cast<std::uint64_t>(cfg.bt_peers_cgn_hi));
+      } else {
+        bt_count = rng_.uniform(static_cast<std::uint64_t>(cfg.bt_peers_lo),
+                                static_cast<std::uint64_t>(cfg.bt_peers_hi));
+      }
+    }
+    if (plan.nz) {
+      isp.nz_session_target =
+          plan.info.cellular
+              ? rng_.uniform(
+                    static_cast<std::uint64_t>(cfg.nz_cellular_sessions_lo),
+                    static_cast<std::uint64_t>(cfg.nz_cellular_sessions_hi))
+              : rng_.uniform(static_cast<std::uint64_t>(cfg.nz_sessions_lo),
+                             static_cast<std::uint64_t>(cfg.nz_sessions_hi));
+    }
+    isp.bt_peer_count = bt_count;
+    std::size_t n_subs = std::max({bt_count, isp.nz_session_target,
+                                   std::size_t{12}});
+
+    // CGN construction.
+    sim::NodeId cpe_chain_bottom = sim::kNoNode;    // NAT444 attach point
+    sim::NodeId direct_chain_bottom = sim::kNoNode; // archetype-B attach point
+    std::vector<netcore::Ipv4Address> internal_bases;
+    if (plan.cgn) {
+      isp.cgn_profile = sample_cgn_profile(rng_, plan.info.cellular);
+      const CgnProfile& prof = *isp.cgn_profile;
+
+      isp.cgn_node = I_.net.add_node(agg_bottom, plan.info.name + "-cgn");
+      std::vector<netcore::Ipv4Address> pool;
+      netcore::Ipv4Prefix pool_prefix = pool_carver.next(24);
+      for (int i = 0; i < prof.pool_size; ++i)
+        pool.push_back(pool_prefix.at(static_cast<std::uint64_t>(i) + 1));
+
+      nat::NatConfig nat_cfg;
+      nat_cfg.name = "CGN-" + plan.info.name;
+      nat_cfg.mapping = prof.mapping;
+      nat_cfg.port_allocation = prof.allocation;
+      nat_cfg.chunk_size = prof.chunk_size;
+      nat_cfg.pooling = prof.pooling;
+      nat_cfg.udp_timeout_s = prof.udp_timeout_s;
+      nat_cfg.hairpinning = prof.hairpinning;
+      nat_cfg.hairpin_preserve_source = prof.hairpin_preserve_source;
+      nat_cfg.port_min = 1024;
+      auto nat = std::make_unique<nat::NatDevice>(nat_cfg, pool, rng_.fork());
+      isp.cgn = nat.get();
+      I_.nats_.push_back(std::move(nat));
+      I_.net.set_middlebox(isp.cgn_node, isp.cgn);
+      for (const auto& a : pool)
+        I_.net.register_address(a, isp.cgn_node, I_.net.root());
+
+      int d = prof.hop_distance;
+      cpe_chain_bottom = I_.net.add_router_chain(
+          isp.cgn_node, std::max(d - 2, 0), plan.info.name + "-acc");
+      direct_chain_bottom = I_.net.add_router_chain(
+          isp.cgn_node, std::max(d - 1, 0), plan.info.name + "-dir");
+
+      // Internal addressing bases (one per configured range, plus the
+      // routable block when the ISP is short on internal space).
+      for (auto range : prof.internal_ranges)
+        internal_bases.push_back(netcore::prefix_of(range).address());
+      if (prof.routable_internal) {
+        if (rng_.chance(0.3) && plans_.size() > 2) {
+          // Space that is publicly routed — by somebody else.
+          const AsPlan& victim = plans_[rng_.index(plans_.size() - 2)];
+          internal_bases.push_back(victim.prefix.address());
+        } else {
+          auto block = netcore::Ipv4Prefix::parse(
+              kUnroutedInternalBlocks[rng_.index(
+                  std::size(kUnroutedInternalBlocks))]);
+          internal_bases.push_back(block.address());
+        }
+      }
+    }
+
+    // Public access chain for non-CGN subscribers.
+    sim::NodeId public_chain_bottom = I_.net.add_router_chain(
+        agg_bottom, static_cast<int>(rng_.uniform(1, 3)),
+        plan.info.name + "-pub");
+
+    // Subscribers.
+    int home_id = 0;
+    for (std::size_t i = 0; i < n_subs; ++i) {
+      bool behind_cgn =
+          plan.cgn && rng_.chance(isp.cgn_profile->cgn_subscriber_fraction);
+      bool has_bt = i < bt_count;
+      Subscriber sub = make_subscriber(plan, isp, behind_cgn, home_id++,
+                                       pool_carver, internal_bases,
+                                       cpe_chain_bottom, direct_chain_bottom,
+                                       public_chain_bottom,
+                                       static_cast<int>(i));
+      if (has_bt) attach_bt_client(sub);
+      bool multi_home = has_bt && !plan.info.cellular && sub.cpe &&
+                        rng_.chance(cfg.multi_device_home_fraction);
+      isp.subscribers.push_back(sub);
+      if (multi_home) {
+        // A second BitTorrent device in the same home LAN; both clients
+        // discover each other via local peer discovery.
+        Subscriber second = add_lan_device(plan, sub, static_cast<int>(i));
+        attach_bt_client(second);
+        dht::DhtNode* a = sub.bt_client;
+        dht::DhtNode* b = second.bt_client;
+        a->learn_contact(dht::Contact{b->id(), b->local_endpoint()},
+                         /*pinned=*/true);
+        b->learn_contact(dht::Contact{a->id(), a->local_endpoint()},
+                         /*pinned=*/true);
+        isp.subscribers.push_back(second);
+      }
+    }
+
+    I_.isp_index[isp.asn] = I_.isps.size();
+    I_.isps.push_back(std::move(isp));
+  }
+
+  Subscriber make_subscriber(const AsPlan& plan, const IspInstance& isp,
+                             bool behind_cgn, int home_id,
+                             netcore::PrefixCarver& pool_carver,
+                             const std::vector<netcore::Ipv4Address>&
+                                 internal_bases,
+                             sim::NodeId cpe_chain_bottom,
+                             sim::NodeId direct_chain_bottom,
+                             sim::NodeId public_chain_bottom, int index) {
+    Subscriber sub;
+    sub.home_id = home_id;
+    sub.behind_cgn = behind_cgn;
+
+    // The line-side address handed out by the ISP: either a public address
+    // or a CGN-internal one (each subscriber its own /24, which is what
+    // CGN-scale address management looks like and what the Figure 5
+    // diversity heuristic keys on).
+    netcore::Ipv4Address line_addr;
+    sim::NodeId line_scope = I_.net.root();
+    sim::NodeId attach = public_chain_bottom;
+    if (behind_cgn) {
+      const auto& bases = internal_bases;
+      netcore::Ipv4Address base = bases[static_cast<std::size_t>(index) %
+                                        bases.size()];
+      line_addr = netcore::Ipv4Address(
+          base.value() + static_cast<std::uint32_t>(index + 1) * 256 + 2);
+      line_scope = isp.cgn_node;
+    } else {
+      line_addr = next_public_address(pool_carver);
+    }
+
+    const bool no_cpe =
+        plan.info.cellular ||
+        (behind_cgn && rng_.chance(isp.cgn_profile->no_cpe_fraction));
+
+    if (no_cpe) {
+      attach = behind_cgn ? direct_chain_bottom : public_chain_bottom;
+      sub.device = I_.net.add_node(attach, plan.info.name + "-dev" +
+                                               std::to_string(home_id));
+      sub.device_address = line_addr;
+      I_.net.add_local_address(sub.device, line_addr);
+      I_.net.register_address(line_addr, sub.device, line_scope);
+    } else {
+      attach = behind_cgn ? cpe_chain_bottom : public_chain_bottom;
+      const CpeModel& model = sample_cpe(rng_);
+      sim::NodeId cpe_node = I_.net.add_node(
+          attach, plan.info.name + "-cpe" + std::to_string(home_id));
+      nat::NatConfig cfg;
+      cfg.name = model.name;
+      cfg.mapping = model.mapping;
+      cfg.port_allocation = model.allocation;
+      cfg.pooling = nat::Pooling::paired;
+      cfg.udp_timeout_s = model.udp_timeout_s;
+      cfg.hairpinning = model.hairpinning;
+      cfg.hairpin_preserve_source = model.hairpin_preserve_source;
+      cfg.port_min = 1024;
+      auto nat = std::make_unique<nat::NatDevice>(
+          cfg, std::vector<netcore::Ipv4Address>{line_addr}, rng_.fork());
+      sub.cpe = nat.get();
+      sub.cpe_upnp = model.upnp;
+      I_.nats_.push_back(std::move(nat));
+      I_.net.set_middlebox(cpe_node, sub.cpe);
+      I_.net.register_address(line_addr, cpe_node, line_scope);
+
+      sub.device = I_.net.add_node(cpe_node, plan.info.name + "-dev" +
+                                                 std::to_string(home_id));
+      sub.device_address = model.lan_prefix.at(2);
+      I_.net.add_local_address(sub.device, sub.device_address);
+      I_.net.register_address(sub.device_address, sub.device, cpe_node);
+      sub.cpe_node = cpe_node;
+      cpe_nodes_[sub.cpe] = cpe_node;
+    }
+
+    auto demux = std::make_unique<sim::PortDemux>();
+    sub.demux = demux.get();
+    demux->attach(I_.net, sub.device);
+    I_.demuxes_.push_back(std::move(demux));
+    return sub;
+  }
+
+  /// Adds a second device to an existing home (same CPE).
+  Subscriber add_lan_device(const AsPlan& plan, const Subscriber& first,
+                            int index) {
+    Subscriber sub;
+    sub.home_id = first.home_id;
+    sub.behind_cgn = first.behind_cgn;
+    sub.cpe = first.cpe;
+    sub.cpe_upnp = first.cpe_upnp;
+    sub.cpe_node = first.cpe_node;
+    sim::NodeId cpe_node = cpe_nodes_.at(first.cpe);
+    sub.device = I_.net.add_node(
+        cpe_node, plan.info.name + "-dev" + std::to_string(index) + "b");
+    sub.device_address =
+        netcore::Ipv4Address(first.device_address.value() + 1);
+    I_.net.add_local_address(sub.device, sub.device_address);
+    I_.net.register_address(sub.device_address, sub.device, cpe_node);
+    auto demux = std::make_unique<sim::PortDemux>();
+    sub.demux = demux.get();
+    demux->attach(I_.net, sub.device);
+    I_.demuxes_.push_back(std::move(demux));
+    return sub;
+  }
+
+  void attach_bt_client(Subscriber& sub) {
+    dht::DhtNodeConfig cfg;
+    cfg.table_capacity = I_.config.dht_table_capacity;
+    cfg.pings_per_round = 24;  // active clients validate aggressively
+    cfg.validate_before_propagate =
+        !rng_.chance(I_.config.sloppy_peer_fraction);
+    netcore::Endpoint local{sub.device_address, 6881};
+    auto node = std::make_unique<dht::DhtNode>(dht::NodeId160::random(rng_),
+                                               local, sub.device, cfg,
+                                               rng_.fork());
+    sub.bt_client = node.get();
+    sub.demux->bind(6881, [ptr = node.get()](sim::Network& n,
+                                             const sim::Packet& p) {
+      ptr->handle(n, p);
+    });
+    if (sub.cpe && sub.cpe_upnp &&
+        rng_.chance(I_.config.upnp_portmap_fraction))
+      sub.cpe->add_static_mapping(netcore::Protocol::udp, local, 0.0);
+    I_.bt_peer_ptrs_.push_back(node.get());
+    I_.dht_nodes_.push_back(std::move(node));
+  }
+
+  netcore::Ipv4Address next_public_address(netcore::PrefixCarver& carver) {
+    // One /28 carve per 14 addresses, amortized through a small cache.
+    if (public_cache_.empty()) {
+      netcore::Ipv4Prefix block = carver.next(28);
+      for (std::uint64_t i = 1; i + 1 < block.size(); ++i)
+        public_cache_.push_back(block.at(i));
+    }
+    netcore::Ipv4Address a = public_cache_.back();
+    public_cache_.pop_back();
+    return a;
+  }
+
+  Internet& I_;
+  sim::Rng rng_;
+  netcore::PrefixCarver carver_{netcore::Ipv4Prefix::parse("16.0.0.0/4")};
+  std::vector<AsPlan> plans_;
+  std::vector<netcore::Ipv4Address> public_cache_;
+  std::unordered_map<const nat::NatDevice*, sim::NodeId> cpe_nodes_;
+};
+
+Internet::Internet(const InternetConfig& cfg) : config(cfg), rng_(cfg.seed) {
+  InternetBuilder(*this).build();
+}
+
+std::unique_ptr<Internet> build_internet(const InternetConfig& config) {
+  return std::make_unique<Internet>(config);
+}
+
+}  // namespace cgn::scenario

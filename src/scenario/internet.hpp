@@ -1,0 +1,179 @@
+// The synthetic-Internet generator: builds the full measurement substrate —
+// AS registry and routing table, per-ISP access trees with CPE and CGN
+// middleboxes, subscriber devices, BitTorrent peers, and the measurement
+// servers (Netalyzr, STUN, DHT bootstrap, tracker, crawler host) hanging off
+// the core.
+//
+// Only *instrumented* ASes (those hosting BitTorrent peers or Netalyzr
+// vantage points) get physical subtrees; the rest of the routed Internet
+// exists as registry entries and announced prefixes, exactly the role it
+// plays for the paper's coverage denominators.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dht/dht_node.hpp"
+#include "dht/tracker.hpp"
+#include "nat/nat_device.hpp"
+#include "netalyzr/server.hpp"
+#include "netcore/address_pool.hpp"
+#include "netcore/as_registry.hpp"
+#include "netcore/routing_table.hpp"
+#include "scenario/profiles.hpp"
+#include "sim/clock.hpp"
+#include "sim/demux.hpp"
+#include "sim/network.hpp"
+#include "sim/rng.hpp"
+#include "stun/stun.hpp"
+
+namespace cgn::scenario {
+
+struct InternetConfig {
+  std::uint64_t seed = 42;
+
+  // --- AS universe (defaults are a 1:8 scale of the paper's world) -------
+  std::size_t routed_ases = 6500;
+  std::size_t pbl_eyeballs = 360;
+  std::size_t apnic_eyeballs = 390;
+  double eyeball_list_overlap = 0.80;  ///< share of PBL list also on APNIC's
+  std::size_t cellular_ases = 34;
+
+  /// Share of eyeball ASes per region: AFRINIC, APNIC, ARIN, LACNIC, RIPE.
+  std::array<double, netcore::kRirCount> region_share{0.10, 0.25, 0.20, 0.15,
+                                                      0.30};
+
+  // --- Ground-truth CGN deployment ----------------------------------------
+  /// Deployment probability for non-cellular eyeball ASes per region.
+  /// (Measured penetration lands lower: not every deployment is detectable.)
+  std::array<double, netcore::kRirCount> cgn_rate_by_region{0.15, 0.48, 0.22,
+                                                            0.22, 0.44};
+  double cellular_cgn_rate = 0.96;
+  double cellular_cgn_rate_afrinic = 0.72;
+  /// CGN deployment among instrumented non-eyeball ASes.
+  double other_cgn_rate = 0.05;
+
+  // --- Instrumentation (who hosts vantage points) -------------------------
+  double bt_eyeball_coverage = 0.58;
+  double bt_other_fraction = 0.022;   ///< of non-eyeball routed ASes
+  double nz_eyeball_coverage = 0.30;
+  double nz_other_fraction = 0.006;
+  double nz_cellular_coverage = 0.85;
+
+  int bt_peers_cgn_lo = 90, bt_peers_cgn_hi = 170;
+  int bt_peers_lo = 6, bt_peers_hi = 40;
+  int bt_peers_cellular_hi = 3;  ///< BitTorrent is rare on mobile devices
+  int nz_sessions_lo = 12, nz_sessions_hi = 48;
+  int nz_cellular_sessions_lo = 5, nz_cellular_sessions_hi = 16;
+
+  // --- Behavioural knobs ---------------------------------------------------
+  double multi_device_home_fraction = 0.22;  ///< homes with two BT devices
+  double upnp_portmap_fraction = 0.70;       ///< BT clients mapping their port
+  /// Peers that propagate unvalidated contacts (paper calibration: ~1.3%).
+  double sloppy_peer_fraction = 0.013;
+  std::size_t dht_table_capacity = 128;
+
+  // --- Topology shape ------------------------------------------------------
+  int server_side_hops = 3;
+  int agg_hops_lo = 1, agg_hops_hi = 3;
+};
+
+/// One subscriber line of an instrumented ISP.
+struct Subscriber {
+  sim::NodeId device = sim::kNoNode;
+  netcore::Ipv4Address device_address;
+  int home_id = -1;                ///< devices sharing a LAN share this
+  nat::NatDevice* cpe = nullptr;   ///< null for archetype-B / cellular lines
+  sim::NodeId cpe_node = sim::kNoNode;
+  bool cpe_upnp = false;
+  bool behind_cgn = false;
+  sim::PortDemux* demux = nullptr;
+  dht::DhtNode* bt_client = nullptr;  ///< null when not a BitTorrent host
+};
+
+/// An instrumented ISP (one per covered AS).
+struct IspInstance {
+  netcore::Asn asn = 0;
+  bool cellular = false;
+  std::optional<CgnProfile> cgn_profile;  ///< ground truth
+  nat::NatDevice* cgn = nullptr;
+  sim::NodeId cgn_node = sim::kNoNode;
+  std::vector<Subscriber> subscribers;
+  std::size_t bt_peer_count = 0;
+  std::size_t nz_session_target = 0;
+  /// Spare public addresses for renumbering events (scenario/churn.hpp).
+  netcore::Ipv4Prefix spare_block;
+  std::uint32_t spare_used = 0;
+};
+
+/// The measurement infrastructure at the network core.
+struct Servers {
+  sim::NodeId netalyzr_host = sim::kNoNode;
+  sim::NodeId stun_host = sim::kNoNode;
+  sim::NodeId bootstrap_host = sim::kNoNode;
+  sim::NodeId tracker_host = sim::kNoNode;
+  sim::NodeId crawler_host = sim::kNoNode;
+  netcore::Endpoint crawler_endpoint;
+  netcore::Endpoint bootstrap_endpoint;
+  std::unique_ptr<netalyzr::NetalyzrServer> netalyzr;
+  std::unique_ptr<stun::StunServer> stun;
+  std::unique_ptr<dht::DhtNode> bootstrap;
+  std::unique_ptr<dht::TrackerServer> tracker;
+};
+
+class Internet {
+ public:
+  explicit Internet(const InternetConfig& config);
+
+  Internet(const Internet&) = delete;
+  Internet& operator=(const Internet&) = delete;
+
+  sim::Clock clock;
+  sim::Network net{clock};
+  netcore::RoutingTable routes;
+  netcore::AsRegistry registry;
+  InternetConfig config;
+  Servers servers;
+
+  std::vector<IspInstance> isps;
+  std::unordered_map<netcore::Asn, std::size_t> isp_index;
+
+  /// Ground truth: does this AS run a CGN? (Known for every registry AS.)
+  [[nodiscard]] bool truth_has_cgn(netcore::Asn asn) const {
+    auto it = truth_cgn_.find(asn);
+    return it != truth_cgn_.end() && it->second;
+  }
+  [[nodiscard]] std::size_t truth_cgn_count() const {
+    std::size_t n = 0;
+    for (const auto& [asn, cgn] : truth_cgn_) n += cgn ? 1 : 0;
+    return n;
+  }
+
+  /// All BitTorrent peers across all ISPs.
+  [[nodiscard]] const std::vector<dht::DhtNode*>& bt_peers() const noexcept {
+    return bt_peer_ptrs_;
+  }
+
+  /// Deterministic RNG forked from the build seed for campaign drivers.
+  [[nodiscard]] sim::Rng fork_rng() { return rng_.fork(); }
+
+ private:
+  friend class InternetBuilder;
+
+  sim::Rng rng_;
+  std::unordered_map<netcore::Asn, bool> truth_cgn_;
+  std::vector<dht::DhtNode*> bt_peer_ptrs_;
+
+  // Ownership of everything wired into the network by raw pointer.
+  std::vector<std::unique_ptr<nat::NatDevice>> nats_;
+  std::vector<std::unique_ptr<dht::DhtNode>> dht_nodes_;
+  std::vector<std::unique_ptr<sim::PortDemux>> demuxes_;
+};
+
+/// Builds a full Internet from a config (the constructor delegates here).
+std::unique_ptr<Internet> build_internet(const InternetConfig& config);
+
+}  // namespace cgn::scenario

@@ -1,0 +1,180 @@
+#include "scenario/profiles.hpp"
+
+namespace cgn::scenario {
+
+namespace {
+using nat::MappingType;
+using nat::PortAllocation;
+using netcore::Ipv4Prefix;
+using netcore::ReservedRange;
+
+std::vector<CpeModel> make_catalog() {
+  // Market calibrated to the paper: ~92% of CPE sessions preserve ports
+  // (Fig 8b); <2% symmetric, the rest spread over the cone types with a
+  // substantial full-cone share (Fig 13a); UPnP answerable in ~40% of
+  // sessions (Table 4); modal UDP timeout 65 s (Fig 12).
+  auto p = [](std::string_view s) { return Ipv4Prefix::parse(s); };
+  return {
+      // name, mapping, allocation, upnp, hairpin, hp_preserve, timeout, lan, weight
+      {"AcmeHome AH-100", MappingType::full_cone,
+       PortAllocation::preservation, true, true, true, 65.0,
+       p("192.168.0.0/24"), 18.0},
+      {"AcmeHome AH-200", MappingType::address_restricted,
+       PortAllocation::preservation, true, false, false, 65.0,
+       p("192.168.1.0/24"), 15.0},
+      {"RiverRouter R1", MappingType::port_address_restricted,
+       PortAllocation::preservation, false, false, false, 65.0,
+       p("192.168.0.0/24"), 14.0},
+      {"RiverRouter R2 Pro", MappingType::address_restricted,
+       PortAllocation::preservation, true, true, false, 400.0,
+       p("192.168.2.0/24"), 9.0},
+      {"HomeGate HG-5", MappingType::full_cone,
+       PortAllocation::preservation, false, true, true, 65.0,
+       p("192.168.1.0/24"), 10.0},
+      {"HomeGate HG-7", MappingType::port_address_restricted,
+       PortAllocation::preservation, false, false, false, 35.0,
+       p("192.168.178.0/24"), 8.0},
+      {"NetBox Duo", MappingType::address_restricted,
+       PortAllocation::preservation, false, false, false, 300.0,
+       p("192.168.100.0/24"), 7.0},
+      {"NetBox Uno", MappingType::full_cone,
+       PortAllocation::preservation, true, true, true, 600.0,
+       p("10.0.0.0/24"), 6.0},
+      {"TelcoCPE T-1", MappingType::port_address_restricted,
+       PortAllocation::sequential, true, false, false, 65.0,
+       p("192.168.0.0/24"), 4.0},
+      {"TelcoCPE T-2", MappingType::address_restricted,
+       PortAllocation::preservation, false, false, false, 240.0,
+       p("10.0.1.0/24"), 3.5},
+      {"SecureGate SG", MappingType::symmetric,
+       PortAllocation::random, false, false, false, 65.0,
+       p("192.168.50.0/24"), 1.5},
+      {"CarrierBox CB-2", MappingType::address_restricted,
+       PortAllocation::preservation, true, true, true, 65.0,
+       p("172.16.0.0/24"), 2.5},
+      {"CarrierBox CB-3", MappingType::full_cone,
+       PortAllocation::preservation, false, true, true, 300.0,
+       p("172.16.1.0/24"), 1.5},
+      {"OpenWrtish OW", MappingType::full_cone,
+       PortAllocation::preservation, true, true, false, 60.0,
+       p("192.168.77.0/24"), 4.0},
+  };
+}
+}  // namespace
+
+const std::vector<CpeModel>& cpe_catalog() {
+  static const std::vector<CpeModel> catalog = make_catalog();
+  return catalog;
+}
+
+const CpeModel& sample_cpe(sim::Rng& rng) {
+  const auto& catalog = cpe_catalog();
+  static const std::vector<double> weights = [] {
+    std::vector<double> w;
+    for (const auto& m : cpe_catalog()) w.push_back(m.weight);
+    return w;
+  }();
+  return catalog[rng.weighted(weights)];
+}
+
+CgnProfile sample_cgn_profile(sim::Rng& rng, bool cellular) {
+  CgnProfile p;
+
+  // Internal address space (Figure 7(a)): 10X most common, then 100X, the
+  // smaller RFC 1918 blocks occasionally; ~20% of CGN ASes combine multiple
+  // ranges; a few (mostly cellular) ISPs resort to routable space.
+  auto pick_range = [&](void) {
+    // Cellular deployments are dominated by 10X with a 100X second (Table 4
+    // column 2); non-cellular CGNs spread a little wider (Figure 7(a)).
+    static const std::vector<double> w_cell{0.70, 0.22, 0.05, 0.03};
+    static const std::vector<double> w_fixed{0.46, 0.28, 0.14, 0.12};
+    static const ReservedRange r[] = {ReservedRange::r10, ReservedRange::r100,
+                                      ReservedRange::r172,
+                                      ReservedRange::r192};
+    return r[rng.weighted(cellular ? w_cell : w_fixed)];
+  };
+  p.internal_ranges.push_back(pick_range());
+  if (rng.chance(0.20)) {
+    ReservedRange second = pick_range();
+    if (second != p.internal_ranges.front())
+      p.internal_ranges.push_back(second);
+  }
+  p.routable_internal = rng.chance(cellular ? 0.12 : 0.015);
+
+  // Placement (Figure 11): non-cellular CGNs mostly 2-6 hops out; cellular
+  // deployments range from 1 up to 12 (large centralized aggregation).
+  if (cellular) {
+    static const std::vector<double> w{0.10, 0.25, 0.25, 0.12, 0.08,
+                                       0.06, 0.04, 0.03, 0.03, 0.02,
+                                       0.01, 0.01};
+    p.hop_distance = static_cast<int>(rng.weighted(w)) + 1;
+  } else {
+    static const std::vector<double> w{0.28, 0.26, 0.20, 0.16, 0.10};
+    p.hop_distance = static_cast<int>(rng.weighted(w)) + 2;  // 2..6
+  }
+
+  // Mapping type (Figure 13(b)): non-cellular ~11% symmetric with a large
+  // permissive share; cellular bimodal (~40% symmetric, ~20% full cone).
+  {
+    static const std::vector<double> w_noncell{0.11, 0.24, 0.26, 0.39};
+    static const std::vector<double> w_cell{0.40, 0.22, 0.18, 0.20};
+    static const MappingType t[] = {MappingType::symmetric,
+                                    MappingType::port_address_restricted,
+                                    MappingType::address_restricted,
+                                    MappingType::full_cone};
+    p.mapping = t[rng.weighted(cellular ? w_cell : w_noncell)];
+  }
+
+  // Port allocation (Table 6): preservation 41%/28%, sequential 22%/26%,
+  // random 36%/45%; a slice of the random CGNs use per-subscriber chunks.
+  {
+    static const std::vector<double> w_noncell{0.41, 0.22, 0.24, 0.13};
+    static const std::vector<double> w_cell{0.28, 0.26, 0.34, 0.12};
+    static const PortAllocation a[] = {
+        PortAllocation::preservation, PortAllocation::sequential,
+        PortAllocation::random, PortAllocation::chunk_random};
+    p.allocation = a[rng.weighted(cellular ? w_cell : w_noncell)];
+    if (p.allocation == PortAllocation::chunk_random) {
+      static const std::vector<double> cw{0.18, 0.18, 0.16, 0.22, 0.14, 0.12};
+      static const std::uint32_t sizes[] = {512, 1024, 2048, 4096, 8192,
+                                            16384};
+      p.chunk_size = sizes[rng.weighted(cw)];
+    }
+  }
+
+  // Pooling (§6.2): 21% of CGNs use arbitrary pooling.
+  p.pooling = rng.chance(0.21) ? nat::Pooling::arbitrary : nat::Pooling::paired;
+
+  // UDP mapping timeouts (Figure 12): 10 s steps; cellular median ~65 s,
+  // non-cellular median ~35 s, both ranging 10-200 s (74% expire <= 60 s).
+  {
+    static const std::vector<double> w_cell{0.02, 0.05, 0.08, 0.10, 0.10,
+                                            0.24, 0.09, 0.07, 0.05, 0.04,
+                                            0.03, 0.05, 0.04, 0.04};
+    static const std::vector<double> w_noncell{0.08, 0.13, 0.21, 0.15, 0.09,
+                                               0.08, 0.05, 0.04, 0.03, 0.03,
+                                               0.02, 0.03, 0.03, 0.03};
+    static const double timeouts[] = {10,  20,  30,  40,  50,  65,  80,
+                                      100, 120, 150, 180, 200, 240, 300};
+    p.udp_timeout_s = timeouts[rng.weighted(cellular ? w_cell : w_noncell)];
+  }
+
+  // Hairpinning: RFC 6888 requires it; a share of implementations forward
+  // hairpinned packets with the internal source intact (the §4.1 leak
+  // enabler, which the paper verified in the wild).
+  p.hairpinning = rng.chance(0.90);
+  p.hairpin_preserve_source = p.hairpinning && rng.chance(0.92);
+
+  // Deployment shape.
+  // Most deployments are partial (paper §2/§3); about a third of cellular
+  // CGNs still hand some devices public space (Table 4: 30.3% "mixed").
+  p.cgn_subscriber_fraction =
+      cellular ? (rng.chance(0.35) ? 0.5 + 0.4 * rng.uniform01() : 1.0)
+               : 0.4 + 0.6 * rng.uniform01();
+  p.no_cpe_fraction = cellular ? 1.0 : 0.05 + 0.20 * rng.uniform01();
+  p.pool_size = cellular ? static_cast<int>(rng.uniform(8, 48))
+                         : static_cast<int>(rng.uniform(8, 32));
+  return p;
+}
+
+}  // namespace cgn::scenario

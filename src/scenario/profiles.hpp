@@ -1,0 +1,71 @@
+// Behavioural profiles of the devices that populate the synthetic Internet:
+// a catalog of CPE models and a sampler for CGN configurations. All
+// distributions are calibrated to the paper's measured marginals (Figures
+// 7-9, 12, 13 and Table 6) — the reproduction *generates* NAT behaviour from
+// these and then re-measures it end-to-end.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nat/nat_types.hpp"
+#include "netcore/ipv4.hpp"
+#include "sim/rng.hpp"
+
+namespace cgn::scenario {
+
+/// One CPE hardware model (Figure 8(b) keys sessions by UPnP model string).
+struct CpeModel {
+  std::string name;
+  nat::MappingType mapping = nat::MappingType::port_address_restricted;
+  nat::PortAllocation allocation = nat::PortAllocation::preservation;
+  bool upnp = false;
+  bool hairpinning = false;
+  bool hairpin_preserve_source = false;
+  double udp_timeout_s = 65.0;
+  netcore::Ipv4Prefix lan_prefix;  ///< block the CPE assigns devices from
+  double weight = 1.0;             ///< market share for sampling
+};
+
+/// The CPE model catalog (a fixed, deterministic market).
+[[nodiscard]] const std::vector<CpeModel>& cpe_catalog();
+
+/// Samples a model by market share.
+[[nodiscard]] const CpeModel& sample_cpe(sim::Rng& rng);
+
+/// Ground-truth configuration of one ISP's CGN deployment.
+struct CgnProfile {
+  /// Reserved ranges used internally; >= 1 entry unless routable_internal
+  /// is the sole range.
+  std::vector<netcore::ReservedRange> internal_ranges;
+  /// Some ISPs (mostly cellular) are so short on internal space they deploy
+  /// nominally-public space inside (Figure 7(b)).
+  bool routable_internal = false;
+
+  /// Hops from the subscriber device to the CGN (Figure 11: 2-6 typical
+  /// non-cellular, 1-12 cellular).
+  int hop_distance = 3;
+
+  nat::MappingType mapping = nat::MappingType::port_address_restricted;
+  nat::PortAllocation allocation = nat::PortAllocation::random;
+  std::uint32_t chunk_size = 4096;  ///< when allocation == chunk_random
+  nat::Pooling pooling = nat::Pooling::paired;
+  double udp_timeout_s = 35.0;
+  bool hairpinning = true;
+  bool hairpin_preserve_source = false;
+
+  /// Fraction of subscribers the ISP has (so far) moved behind the CGN —
+  /// the paper stresses that most deployments are partial.
+  double cgn_subscriber_fraction = 1.0;
+  /// Fraction of CGN subscribers connected without their own CPE NAT
+  /// (carrier NAT44, subscriber archetype B of Figure 2).
+  double no_cpe_fraction = 0.0;
+
+  /// External pool size (public IPv4 addresses of the CGN).
+  int pool_size = 16;
+};
+
+/// Samples a CGN profile for a cellular or non-cellular ISP.
+[[nodiscard]] CgnProfile sample_cgn_profile(sim::Rng& rng, bool cellular);
+
+}  // namespace cgn::scenario

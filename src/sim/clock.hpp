@@ -1,0 +1,36 @@
+// Virtual time for the discrete-event simulation.
+//
+// All NAT timeout behaviour (mapping expiry, the TTL-driven enumeration
+// test's idle periods) is driven by this clock; drivers advance it
+// explicitly, so a 200-second idle period costs nothing to simulate.
+#pragma once
+
+#include <stdexcept>
+
+namespace cgn::sim {
+
+/// Simulated time in seconds since simulation start.
+using SimTime = double;
+
+/// A monotonically advancing virtual clock.
+class Clock {
+ public:
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Advances the clock by `dt` seconds. Throws on negative dt.
+  void advance(SimTime dt) {
+    if (dt < 0) throw std::invalid_argument("clock cannot go backwards");
+    now_ += dt;
+  }
+
+  /// Jumps to absolute time `t`. Throws if `t` is in the past.
+  void set(SimTime t) {
+    if (t < now_) throw std::invalid_argument("clock cannot go backwards");
+    now_ = t;
+  }
+
+ private:
+  SimTime now_ = 0.0;
+};
+
+}  // namespace cgn::sim

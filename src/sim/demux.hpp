@@ -1,0 +1,39 @@
+// Per-port dispatch of delivered packets to application handlers, so one
+// simulated host can run several endpoints (DHT node, Netalyzr client,
+// STUN client) on different local ports.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "sim/network.hpp"
+
+namespace cgn::sim {
+
+class PortDemux {
+ public:
+  using Handler = std::function<void(Network&, const Packet&)>;
+
+  void bind(std::uint16_t port, Handler handler) {
+    handlers_[port] = std::move(handler);
+  }
+  void unbind(std::uint16_t port) { handlers_.erase(port); }
+
+  /// Receiver-compatible dispatch; packets to unbound ports are dropped
+  /// silently (like an OS with no listening socket).
+  void operator()(Network& net, const Packet& pkt) {
+    auto it = handlers_.find(pkt.dst.port);
+    if (it != handlers_.end()) it->second(net, pkt);
+  }
+
+  /// Installs this demux as the receiver of `host`. The demux must outlive
+  /// the network registration (keep it in the host's owning structure).
+  void attach(Network& net, NodeId host) {
+    net.set_receiver(host, [this](Network& n, const Packet& p) { (*this)(n, p); });
+  }
+
+ private:
+  std::unordered_map<std::uint16_t, Handler> handlers_;
+};
+
+}  // namespace cgn::sim

@@ -1,0 +1,235 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cgn::sim {
+
+std::string_view to_string(DropReason r) noexcept {
+  switch (r) {
+    case DropReason::none: return "none";
+    case DropReason::ttl_expired: return "ttl_expired";
+    case DropReason::no_route: return "no_route";
+    case DropReason::filtered: return "filtered";
+    case DropReason::no_mapping: return "no_mapping";
+    case DropReason::mb_dropped: return "mb_dropped";
+    case DropReason::hop_limit: return "hop_limit";
+  }
+  return "?";
+}
+
+Network::Network(Clock& clock) : clock_(&clock) {
+  Node core;
+  core.name = "core";
+  nodes_.push_back(std::move(core));
+}
+
+NodeId Network::add_node(NodeId parent, std::string name) {
+  if (parent >= nodes_.size()) throw std::out_of_range("bad parent node");
+  Node node;
+  node.name = std::move(name);
+  node.parent = parent;
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId Network::add_router_chain(NodeId parent, int count,
+                                 const std::string& prefix) {
+  NodeId node = parent;
+  for (int i = 0; i < count; ++i)
+    node = add_node(node, prefix + "-r" + std::to_string(i));
+  return node;
+}
+
+void Network::set_middlebox(NodeId node, Middlebox* box) {
+  nodes_.at(node).middlebox = box;
+}
+
+void Network::set_receiver(NodeId node, Receiver receiver) {
+  nodes_.at(node).receiver = std::move(receiver);
+}
+
+void Network::add_local_address(NodeId node, netcore::Ipv4Address address) {
+  nodes_.at(node).local_addresses.push_back(address);
+}
+
+void Network::register_address(netcore::Ipv4Address address, NodeId owner,
+                               NodeId scope) {
+  NodeId child = owner;
+  NodeId node = nodes_.at(owner).parent;
+  while (node != kNoNode) {
+    nodes_[node].down_routes[address] = child;
+    if (node == scope) return;
+    child = node;
+    node = nodes_[node].parent;
+  }
+  throw std::invalid_argument("scope is not an ancestor of owner");
+}
+
+void Network::unregister_address(netcore::Ipv4Address address, NodeId owner,
+                                 NodeId scope) {
+  NodeId node = nodes_.at(owner).parent;
+  while (node != kNoNode) {
+    auto it = nodes_[node].down_routes.find(address);
+    if (it != nodes_[node].down_routes.end()) nodes_[node].down_routes.erase(it);
+    if (node == scope) return;
+    node = nodes_[node].parent;
+  }
+}
+
+NodeId Network::parent(NodeId node) const { return nodes_.at(node).parent; }
+
+const std::string& Network::name(NodeId node) const {
+  return nodes_.at(node).name;
+}
+
+int Network::path_hops(NodeId from, NodeId to) const {
+  auto depth = [this](NodeId n) {
+    int d = 0;
+    for (NodeId p = nodes_.at(n).parent; p != kNoNode; p = nodes_[p].parent)
+      ++d;
+    return d;
+  };
+  int df = depth(from);
+  int dt = depth(to);
+  NodeId a = from;
+  NodeId b = to;
+  int da = df;
+  int db = dt;
+  while (da > db) {
+    a = nodes_[a].parent;
+    --da;
+  }
+  while (db > da) {
+    b = nodes_[b].parent;
+    --db;
+  }
+  while (a != b) {
+    a = nodes_[a].parent;
+    b = nodes_[b].parent;
+    --da;
+  }
+  return df + dt - 2 * da - 1;
+}
+
+bool Network::owns_local(const Node& n, netcore::Ipv4Address a) const {
+  return std::find(n.local_addresses.begin(), n.local_addresses.end(), a) !=
+         n.local_addresses.end();
+}
+
+DropReason Network::to_drop_reason(Middlebox::Verdict v) noexcept {
+  switch (v) {
+    case Middlebox::Verdict::forward: return DropReason::none;
+    case Middlebox::Verdict::drop_filtered: return DropReason::filtered;
+    case Middlebox::Verdict::drop_no_mapping: return DropReason::no_mapping;
+    case Middlebox::Verdict::drop_other: return DropReason::mb_dropped;
+  }
+  return DropReason::mb_dropped;
+}
+
+DeliveryResult Network::finish(DeliveryResult r) {
+  switch (r.reason) {
+    case DropReason::none: ++stats_.delivered; break;
+    case DropReason::ttl_expired: ++stats_.dropped_ttl; break;
+    case DropReason::no_route: ++stats_.dropped_no_route; break;
+    case DropReason::filtered: ++stats_.dropped_filtered; break;
+    case DropReason::no_mapping: ++stats_.dropped_no_mapping; break;
+    default: ++stats_.dropped_other; break;
+  }
+  return r;
+}
+
+DeliveryResult Network::deliver_at(NodeId node, Packet& pkt, int hops) {
+  if (nodes_[node].receiver) nodes_[node].receiver(*this, pkt);
+  return finish({.delivered = true,
+                 .reason = DropReason::none,
+                 .hops = hops,
+                 .final_node = node});
+}
+
+DeliveryResult Network::send(Packet pkt, NodeId from) {
+  ++stats_.sent;
+  const SimTime now = clock_->now();
+  int hops = 0;
+  NodeId node = nodes_.at(from).parent;
+  // Ascent: walk from the sender toward the core until a node claims the
+  // destination (locally, via a scoped down-route, or via a hairpin).
+  while (node != kNoNode) {
+    if (++hops > kMaxHops)
+      return finish({.reason = DropReason::hop_limit, .final_node = node});
+    Node& n = nodes_[node];
+    pkt.ttl -= 1;
+    if (owns_local(n, pkt.dst.address)) return deliver_at(node, pkt, hops);
+    if (pkt.ttl <= 0)
+      return finish({.reason = DropReason::ttl_expired,
+                     .hops = hops,
+                     .final_node = node});
+    if (auto it = n.down_routes.find(pkt.dst.address);
+        it != n.down_routes.end())
+      return descend(it->second, pkt, hops);
+    if (n.middlebox && n.middlebox->owns_external(pkt.dst.address)) {
+      auto verdict = n.middlebox->process_hairpin(pkt, now);
+      if (verdict != Middlebox::Verdict::forward)
+        return finish({.reason = to_drop_reason(verdict),
+                       .hops = hops,
+                       .final_node = node});
+      auto it = n.down_routes.find(pkt.dst.address);
+      if (it == n.down_routes.end())
+        return finish({.reason = DropReason::no_route,
+                       .hops = hops,
+                       .final_node = node});
+      return descend(it->second, pkt, hops);
+    }
+    if (n.middlebox) {
+      auto verdict = n.middlebox->process_outbound(pkt, now);
+      if (verdict != Middlebox::Verdict::forward)
+        return finish({.reason = to_drop_reason(verdict),
+                       .hops = hops,
+                       .final_node = node});
+    }
+    if (n.parent == kNoNode)
+      return finish({.reason = DropReason::no_route,
+                     .hops = hops,
+                     .final_node = node});
+    node = n.parent;
+  }
+  return finish({.reason = DropReason::no_route, .hops = hops});
+}
+
+DeliveryResult Network::descend(NodeId node, Packet& pkt, int hops) {
+  const SimTime now = clock_->now();
+  while (true) {
+    if (++hops > kMaxHops)
+      return finish({.reason = DropReason::hop_limit, .final_node = node});
+    Node& n = nodes_[node];
+    pkt.ttl -= 1;
+    // A NAT whose external address the packet targets translates it inward —
+    // but only if the packet still has TTL budget to be forwarded; a probe
+    // that expires here dies without refreshing the NAT's mapping, which is
+    // exactly what the TTL-driven enumeration test exploits.
+    if (n.middlebox && n.middlebox->owns_external(pkt.dst.address)) {
+      if (pkt.ttl <= 0)
+        return finish({.reason = DropReason::ttl_expired,
+                       .hops = hops,
+                       .final_node = node});
+      auto verdict = n.middlebox->process_inbound(pkt, now);
+      if (verdict != Middlebox::Verdict::forward)
+        return finish({.reason = to_drop_reason(verdict),
+                       .hops = hops,
+                       .final_node = node});
+    }
+    if (owns_local(n, pkt.dst.address)) return deliver_at(node, pkt, hops);
+    if (pkt.ttl <= 0)
+      return finish({.reason = DropReason::ttl_expired,
+                     .hops = hops,
+                     .final_node = node});
+    auto it = n.down_routes.find(pkt.dst.address);
+    if (it == n.down_routes.end())
+      return finish({.reason = DropReason::no_route,
+                     .hops = hops,
+                     .final_node = node});
+    node = it->second;
+  }
+}
+
+}  // namespace cgn::sim

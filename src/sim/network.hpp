@@ -1,0 +1,171 @@
+// Tree-topology packet delivery engine.
+//
+// The synthetic Internet is a forest rooted at a single "core" node: servers
+// hang off the core through chains of plain router nodes, and each ISP is a
+// subtree (access routers, optional CGN middlebox, CPE middleboxes, end
+// hosts). Delivery walks real hops: every hop decrements the TTL, NAT
+// middleboxes translate and filter, and scoped per-node routing maps model
+// the fact that reserved address space is only meaningful inside its own
+// subtree. This per-hop fidelity is what makes the paper's TTL-driven NAT
+// enumeration (§6.3) and hairpin-based internal-address leakage (§4.1)
+// reproducible as *measurements* instead of hard-coded outputs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netcore/ipv4.hpp"
+#include "sim/clock.hpp"
+#include "sim/packet.hpp"
+
+namespace cgn::sim {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+/// Why a packet failed to reach its destination.
+enum class DropReason : std::uint8_t {
+  none,         ///< delivered
+  ttl_expired,  ///< TTL reached zero at an intermediate hop
+  no_route,     ///< no node claimed the destination address
+  filtered,     ///< a NAT's filtering policy rejected the packet
+  no_mapping,   ///< a NAT had no (live) mapping for the destination
+  mb_dropped,   ///< middlebox dropped for another reason (e.g. pool exhausted)
+  hop_limit,    ///< safety valve: path exceeded kMaxHops
+};
+
+[[nodiscard]] std::string_view to_string(DropReason r) noexcept;
+
+/// In-path packet processor (a NAT, in this project). Implementations live
+/// in cgn::nat; the engine only sees this interface.
+class Middlebox {
+ public:
+  virtual ~Middlebox() = default;
+
+  enum class Verdict : std::uint8_t {
+    forward,
+    drop_filtered,
+    drop_no_mapping,
+    drop_other,
+  };
+
+  /// Packet travelling from the edge toward the core: translate src.
+  virtual Verdict process_outbound(Packet& pkt, SimTime now) = 0;
+  /// Packet travelling from the core toward the edge: match mapping, apply
+  /// filtering policy, translate dst.
+  virtual Verdict process_inbound(Packet& pkt, SimTime now) = 0;
+  /// Packet from the inside addressed to one of our own external addresses.
+  virtual Verdict process_hairpin(Packet& pkt, SimTime now) = 0;
+  /// True when `a` is one of this box's external (translated-to) addresses.
+  [[nodiscard]] virtual bool owns_external(netcore::Ipv4Address a) const = 0;
+};
+
+/// Outcome of one end-to-end delivery attempt.
+struct DeliveryResult {
+  bool delivered = false;
+  DropReason reason = DropReason::none;
+  int hops = 0;             ///< nodes traversed (excluding the sender)
+  NodeId final_node = kNoNode;  ///< delivering node, or node of drop
+};
+
+/// Aggregate delivery statistics (diagnostics and tests).
+struct NetworkStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_ttl = 0;
+  std::uint64_t dropped_no_route = 0;
+  std::uint64_t dropped_filtered = 0;
+  std::uint64_t dropped_no_mapping = 0;
+  std::uint64_t dropped_other = 0;
+};
+
+class Network {
+ public:
+  /// Handler invoked when a packet is delivered to a host node. The packet's
+  /// dst is the host-local (post-translation) endpoint. Handlers may call
+  /// Network::send to respond.
+  using Receiver = std::function<void(Network&, const Packet&)>;
+
+  explicit Network(Clock& clock);
+
+  /// The root ("core") node, created by the constructor.
+  [[nodiscard]] NodeId root() const noexcept { return 0; }
+
+  /// Adds a plain node beneath `parent`. Middlebox/receiver/addresses can be
+  /// attached afterwards. Throws std::out_of_range on bad parent.
+  NodeId add_node(NodeId parent, std::string name);
+
+  /// Convenience: adds a chain of `count` plain router nodes under `parent`
+  /// and returns the bottom node.
+  NodeId add_router_chain(NodeId parent, int count, const std::string& prefix);
+
+  /// Attaches a middlebox to a node. The pointer is non-owning; the box must
+  /// outlive the network.
+  void set_middlebox(NodeId node, Middlebox* box);
+
+  /// Marks a node as a host with a delivery callback.
+  void set_receiver(NodeId node, Receiver receiver);
+
+  /// Declares that `node` locally owns `address` (a host interface address).
+  void add_local_address(NodeId node, netcore::Ipv4Address address);
+
+  /// Installs downward routes for `address` from `scope` (inclusive) down to
+  /// `owner`: each ancestor learns the child next-hop. `scope` must be an
+  /// ancestor of `owner`. Use the root as scope for public addresses and the
+  /// enclosing NAT node for internal ones.
+  void register_address(netcore::Ipv4Address address, NodeId owner,
+                        NodeId scope);
+
+  /// Removes the downward routes for `address` along the owner->scope path
+  /// (ISP renumbering). Missing entries are ignored.
+  void unregister_address(netcore::Ipv4Address address, NodeId owner,
+                          NodeId scope);
+
+  /// Parent of a node (kNoNode for the root).
+  [[nodiscard]] NodeId parent(NodeId node) const;
+  [[nodiscard]] const std::string& name(NodeId node) const;
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+
+  /// Number of hops (intermediate nodes, excluding both hosts) a packet
+  /// from `from` to `to` traverses, assuming no hairpin. Host-to-host
+  /// distance through the tree.
+  [[nodiscard]] int path_hops(NodeId from, NodeId to) const;
+
+  /// Sends `pkt` from host node `from`. Delivery is synchronous: the
+  /// receiver callback (and any packets it sends in response) runs before
+  /// send returns.
+  DeliveryResult send(Packet pkt, NodeId from);
+
+  [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
+  [[nodiscard]] const Clock& clock() const noexcept { return *clock_; }
+
+ private:
+  struct Node {
+    std::string name;
+    NodeId parent = kNoNode;
+    Middlebox* middlebox = nullptr;
+    Receiver receiver;
+    std::unordered_map<netcore::Ipv4Address, NodeId> down_routes;
+    std::vector<netcore::Ipv4Address> local_addresses;
+  };
+
+  static constexpr int kMaxHops = 64;
+
+  [[nodiscard]] bool owns_local(const Node& n, netcore::Ipv4Address a) const;
+  DeliveryResult deliver_at(NodeId node, Packet& pkt, int hops);
+  DeliveryResult descend(NodeId node, Packet& pkt, int hops);
+  DeliveryResult finish(DeliveryResult r);
+  static DropReason to_drop_reason(Middlebox::Verdict v) noexcept;
+
+  Clock* clock_;
+  std::vector<Node> nodes_;
+  NetworkStats stats_;
+};
+
+}  // namespace cgn::sim

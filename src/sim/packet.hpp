@@ -1,0 +1,53 @@
+// The packet model the simulated network transports.
+//
+// Packets carry a transport 5-tuple-ish header (protocol, src/dst endpoints,
+// TTL) plus a type-erased application payload (DHT message, Netalyzr probe,
+// STUN request, ...). A packet is mutated in place as it traverses the path:
+// NATs rewrite src on the way out and dst on the way in, and every hop
+// decrements the TTL — exactly the observables the paper's methods rely on.
+#pragma once
+
+#include <any>
+#include <cstdint>
+
+#include "netcore/ipv4.hpp"
+
+namespace cgn::sim {
+
+/// Minimal TCP signalling the NAT engine needs for state tracking.
+enum class TcpFlag : std::uint8_t { none, syn, fin, rst };
+
+struct Packet {
+  netcore::Protocol proto = netcore::Protocol::udp;
+  netcore::Endpoint src;
+  netcore::Endpoint dst;
+  int ttl = 64;
+  TcpFlag tcp_flag = TcpFlag::none;
+  std::any payload;  ///< application message; receivers std::any_cast it
+
+  [[nodiscard]] static Packet udp(netcore::Endpoint src, netcore::Endpoint dst,
+                                  int ttl = 64) {
+    Packet p;
+    p.proto = netcore::Protocol::udp;
+    p.src = src;
+    p.dst = dst;
+    p.ttl = ttl;
+    return p;
+  }
+
+  [[nodiscard]] static Packet tcp(netcore::Endpoint src, netcore::Endpoint dst,
+                                  TcpFlag flag = TcpFlag::syn, int ttl = 64) {
+    Packet p;
+    p.proto = netcore::Protocol::tcp;
+    p.src = src;
+    p.dst = dst;
+    p.ttl = ttl;
+    p.tcp_flag = flag;
+    return p;
+  }
+};
+
+/// Default initial TTL used by well-behaved simulated hosts.
+inline constexpr int kDefaultTtl = 64;
+
+}  // namespace cgn::sim

@@ -1,0 +1,79 @@
+// Deterministic random source used by every stochastic component.
+//
+// A single seed reproduces an entire synthetic Internet, crawl, and
+// measurement campaign bit-for-bit, which the tests rely on.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace cgn::sim {
+
+/// Convenience wrapper around std::mt19937_64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Throws if lo > hi.
+  [[nodiscard]] std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
+    if (lo > hi) throw std::invalid_argument("uniform: lo > hi");
+    return std::uniform_int_distribution<std::uint64_t>{lo, hi}(engine_);
+  }
+
+  /// Uniform integer in [0, n). Throws if n == 0.
+  [[nodiscard]] std::size_t index(std::size_t n) {
+    if (n == 0) throw std::invalid_argument("index: empty range");
+    return static_cast<std::size_t>(uniform(0, n - 1));
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01() {
+    return std::uniform_real_distribution<double>{0.0, 1.0}(engine_);
+  }
+
+  /// True with probability p (clamped to [0,1]).
+  [[nodiscard]] bool chance(double p) { return uniform01() < p; }
+
+  /// Picks one element of a non-empty span uniformly at random.
+  template <typename T>
+  [[nodiscard]] const T& pick(std::span<const T> items) {
+    return items[index(items.size())];
+  }
+  template <typename T>
+  [[nodiscard]] const T& pick(const std::vector<T>& items) {
+    return items[index(items.size())];
+  }
+
+  /// Samples an index according to non-negative weights. Throws when all
+  /// weights are zero or the span is empty.
+  [[nodiscard]] std::size_t weighted(std::span<const double> weights) {
+    double total = 0;
+    for (double w : weights) total += w;
+    if (total <= 0) throw std::invalid_argument("weighted: no positive weight");
+    double x = uniform01() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      x -= weights[i];
+      if (x < 0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    std::shuffle(items.begin(), items.end(), engine_);
+  }
+
+  /// Derives an independent child generator (for parallel subsystem seeding).
+  [[nodiscard]] Rng fork() { return Rng(engine_()); }
+
+  [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace cgn::sim

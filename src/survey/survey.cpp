@@ -1,0 +1,112 @@
+#include "survey/survey.hpp"
+
+namespace cgn::survey {
+
+std::string_view to_string(CgnStatus s) noexcept {
+  switch (s) {
+    case CgnStatus::deployed: return "yes, already deployed";
+    case CgnStatus::considering: return "considering deployment";
+    case CgnStatus::no_plans: return "no plans to deploy";
+  }
+  return "?";
+}
+
+std::string_view to_string(Ipv6Status s) noexcept {
+  switch (s) {
+    case Ipv6Status::most_or_all_subscribers: return "yes, most/all subscribers";
+    case Ipv6Status::some_subscribers: return "yes, some subscribers";
+    case Ipv6Status::plans_to_deploy_soon: return "plans to deploy soon";
+    case Ipv6Status::no_plans: return "no plans to deploy";
+  }
+  return "?";
+}
+
+std::string_view to_string(ScarcityStatus s) noexcept {
+  switch (s) {
+    case ScarcityStatus::facing: return "facing scarcity";
+    case ScarcityStatus::looming: return "scarcity looming";
+    case ScarcityStatus::not_facing: return "not facing scarcity";
+  }
+  return "?";
+}
+
+std::vector<SurveyResponse> generate_responses(std::size_t n, sim::Rng& rng) {
+  std::vector<SurveyResponse> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    SurveyResponse r;
+    r.respondent_id = static_cast<int>(i + 1);
+    r.cellular = rng.chance(0.25);
+
+    // Figure 1(a): 38% deployed / 12% considering / 50% no plans.
+    double u = rng.uniform01();
+    r.cgn = u < 0.38   ? CgnStatus::deployed
+            : u < 0.50 ? CgnStatus::considering
+                       : CgnStatus::no_plans;
+
+    // Figure 1(b): 32% most/all, 35% some, 11% soon, 22% no plans.
+    u = rng.uniform01();
+    r.ipv6 = u < 0.32   ? Ipv6Status::most_or_all_subscribers
+             : u < 0.67 ? Ipv6Status::some_subscribers
+             : u < 0.78 ? Ipv6Status::plans_to_deploy_soon
+                        : Ipv6Status::no_plans;
+
+    // §2: >40% face scarcity, another ~10% see it looming.
+    u = rng.uniform01();
+    r.scarcity = u < 0.42   ? ScarcityStatus::facing
+                 : u < 0.52 ? ScarcityStatus::looming
+                            : ScarcityStatus::not_facing;
+
+    // Three of 75 ISPs reported internal address scarcity (~4%); these run
+    // CGN by definition.
+    r.faces_internal_scarcity =
+        r.cgn == CgnStatus::deployed && rng.chance(0.10);
+
+    // Markets: 3/75 bought, another 15/75 considered.
+    r.bought_addresses = rng.chance(0.04);
+    r.considered_buying = !r.bought_addresses && rng.chance(0.20);
+
+    // Concerns (among all respondents): price 60%, polluted blocks 44%,
+    // ownership uncertainty 42%.
+    r.concern_price = rng.chance(0.60);
+    r.concern_polluted_blocks = rng.chance(0.44);
+    r.concern_ownership = rng.chance(0.42);
+
+    out.push_back(r);
+  }
+  return out;
+}
+
+SurveyTabulation tabulate(const std::vector<SurveyResponse>& responses) {
+  SurveyTabulation t;
+  t.n = responses.size();
+  if (t.n == 0) return t;
+  const double inv = 1.0 / static_cast<double>(t.n);
+  for (const auto& r : responses) {
+    switch (r.cgn) {
+      case CgnStatus::deployed: t.cgn_deployed += inv; break;
+      case CgnStatus::considering: t.cgn_considering += inv; break;
+      case CgnStatus::no_plans: t.cgn_no_plans += inv; break;
+    }
+    switch (r.ipv6) {
+      case Ipv6Status::most_or_all_subscribers: t.ipv6_most += inv; break;
+      case Ipv6Status::some_subscribers: t.ipv6_some += inv; break;
+      case Ipv6Status::plans_to_deploy_soon: t.ipv6_soon += inv; break;
+      case Ipv6Status::no_plans: t.ipv6_no_plans += inv; break;
+    }
+    switch (r.scarcity) {
+      case ScarcityStatus::facing: t.scarcity_facing += inv; break;
+      case ScarcityStatus::looming: t.scarcity_looming += inv; break;
+      case ScarcityStatus::not_facing: t.scarcity_not += inv; break;
+    }
+    if (r.faces_internal_scarcity) t.internal_scarcity += inv;
+    if (r.bought_addresses) t.bought += inv;
+    if (r.considered_buying) t.considered_buying += inv;
+    if (r.concern_price) t.concern_price += inv;
+    if (r.concern_polluted_blocks) t.concern_polluted += inv;
+    if (r.concern_ownership) t.concern_ownership += inv;
+  }
+  return t;
+}
+
+}  // namespace cgn::survey

@@ -1,0 +1,62 @@
+// The operator survey of paper §2 (Figure 1 and the scarcity/market
+// statistics). The paper collected 75 responses; we generate a synthetic
+// respondent population whose marginals match the published percentages and
+// tabulate it with the same code a real survey would use.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace cgn::survey {
+
+enum class CgnStatus : std::uint8_t { deployed, considering, no_plans };
+enum class Ipv6Status : std::uint8_t {
+  most_or_all_subscribers,
+  some_subscribers,
+  plans_to_deploy_soon,
+  no_plans,
+};
+enum class ScarcityStatus : std::uint8_t { facing, looming, not_facing };
+
+[[nodiscard]] std::string_view to_string(CgnStatus s) noexcept;
+[[nodiscard]] std::string_view to_string(Ipv6Status s) noexcept;
+[[nodiscard]] std::string_view to_string(ScarcityStatus s) noexcept;
+
+struct SurveyResponse {
+  int respondent_id = 0;
+  bool cellular = false;
+  CgnStatus cgn = CgnStatus::no_plans;
+  Ipv6Status ipv6 = Ipv6Status::no_plans;
+  ScarcityStatus scarcity = ScarcityStatus::not_facing;
+  bool faces_internal_scarcity = false;
+  bool bought_addresses = false;
+  bool considered_buying = false;
+  // Concerns about the transfer market:
+  bool concern_price = false;
+  bool concern_polluted_blocks = false;
+  bool concern_ownership = false;
+};
+
+/// Generates `n` synthetic responses whose marginals follow §2
+/// (38%/12%/50% CGN; 32%/35%/11%/22% IPv6; >40% facing scarcity; ...).
+[[nodiscard]] std::vector<SurveyResponse> generate_responses(std::size_t n,
+                                                             sim::Rng& rng);
+
+/// Tabulated shares over a response set.
+struct SurveyTabulation {
+  std::size_t n = 0;
+  double cgn_deployed = 0, cgn_considering = 0, cgn_no_plans = 0;
+  double ipv6_most = 0, ipv6_some = 0, ipv6_soon = 0, ipv6_no_plans = 0;
+  double scarcity_facing = 0, scarcity_looming = 0, scarcity_not = 0;
+  double internal_scarcity = 0;
+  double bought = 0, considered_buying = 0;
+  double concern_price = 0, concern_polluted = 0, concern_ownership = 0;
+};
+
+[[nodiscard]] SurveyTabulation tabulate(
+    const std::vector<SurveyResponse>& responses);
+
+}  // namespace cgn::survey

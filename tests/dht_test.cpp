@@ -1,0 +1,331 @@
+#include "dht/dht_node.hpp"
+#include "dht/node_id.hpp"
+#include "dht/tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_topology.hpp"
+
+namespace cgn::dht {
+namespace {
+
+using netcore::Endpoint;
+using netcore::Ipv4Address;
+using test::LineConfig;
+using test::MiniNet;
+
+TEST(NodeId160, RandomIdsDiffer) {
+  sim::Rng rng(1);
+  auto a = NodeId160::random(rng);
+  auto b = NodeId160::random(rng);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.to_hex().size(), 40u);
+}
+
+TEST(NodeId160, XorDistanceProperties) {
+  sim::Rng rng(2);
+  auto a = NodeId160::random(rng);
+  auto b = NodeId160::random(rng);
+  // d(x,x) = 0.
+  auto zero = a.distance_to(a);
+  for (auto byte : zero) EXPECT_EQ(byte, 0);
+  // Symmetry.
+  EXPECT_EQ(a.distance_to(b), b.distance_to(a));
+  // x is closer to x than anything else is.
+  EXPECT_TRUE(a.closer_to(a, b));
+  EXPECT_FALSE(a.closer_to(b, b));
+}
+
+TEST(NodeId160, BucketIndexFindsFirstDifferingBit) {
+  NodeId160::Bytes x{}, y{};
+  y[0] = 0x80;
+  EXPECT_EQ(NodeId160(x).bucket_index(NodeId160(y)), 0);
+  y[0] = 0x01;
+  EXPECT_EQ(NodeId160(x).bucket_index(NodeId160(y)), 7);
+  y[0] = 0;
+  y[19] = 0x01;
+  EXPECT_EQ(NodeId160(x).bucket_index(NodeId160(y)), 159);
+  EXPECT_EQ(NodeId160(x).bucket_index(NodeId160(x)), 160);
+}
+
+/// Two public hosts running DHT nodes.
+struct DhtPair {
+  MiniNet mini;
+  MiniNet::Line line_a, line_b;
+  std::unique_ptr<DhtNode> a, b;
+
+  explicit DhtPair(DhtNodeConfig cfg = {}) {
+    LineConfig lc;
+    lc.with_cpe = false;
+    lc.line_public = Ipv4Address{16, 0, 1, 2};
+    line_a = mini.add_line(lc, 11);
+    lc.line_public = Ipv4Address{16, 0, 2, 2};
+    line_b = mini.add_line(lc, 22);
+    sim::Rng rng(5);
+    a = std::make_unique<DhtNode>(NodeId160::random(rng),
+                                  Endpoint{line_a.device_address, 6881},
+                                  line_a.device, cfg, rng.fork());
+    b = std::make_unique<DhtNode>(NodeId160::random(rng),
+                                  Endpoint{line_b.device_address, 6881},
+                                  line_b.device, cfg, rng.fork());
+    line_a.demux->bind(6881, [this](sim::Network& n, const sim::Packet& p) {
+      a->handle(n, p);
+    });
+    line_b.demux->bind(6881, [this](sim::Network& n, const sim::Packet& p) {
+      b->handle(n, p);
+    });
+  }
+};
+
+TEST(DhtNode, PingValidatesCandidates) {
+  DhtPair pair;
+  pair.a->learn_contact({pair.b->id(), pair.b->local_endpoint()});
+  EXPECT_FALSE(pair.a->knows_validated(
+      {pair.b->id(), pair.b->local_endpoint()}));
+  pair.a->run_maintenance(pair.mini.net);  // sends the validation ping
+  EXPECT_TRUE(pair.a->knows_validated(
+      {pair.b->id(), pair.b->local_endpoint()}));
+  // B learned A from the inbound ping (as a candidate).
+  EXPECT_EQ(pair.b->table_size(), 1u);
+  EXPECT_EQ(pair.b->stats().pings_received, 1u);
+}
+
+TEST(DhtNode, FindNodesReturnsOnlyValidatedContacts) {
+  DhtPair pair;
+  sim::Rng rng(9);
+  // Fill A with unvalidated garbage plus one validated contact (B).
+  for (int i = 0; i < 20; ++i)
+    pair.a->learn_contact(
+        {NodeId160::random(rng), Endpoint{Ipv4Address{16, 5, 0, 1}, 1000}});
+  pair.a->learn_contact({pair.b->id(), pair.b->local_endpoint()});
+  // Several rounds so the ping budget covers every candidate.
+  for (int i = 0; i < 4; ++i) pair.a->run_maintenance(pair.mini.net);
+
+  // B queries A.
+  std::uint64_t got = 0;
+  pair.line_b.demux->bind(7000, [&](sim::Network&, const sim::Packet& p) {
+    if (const auto* m = std::any_cast<Message>(&p.payload))
+      if (const auto* nodes = std::get_if<NodesMsg>(m))
+        got = nodes->contacts.size();
+  });
+  sim::Packet query = sim::Packet::udp({pair.line_b.device_address, 7000},
+                                       pair.a->local_endpoint());
+  query.payload = Message{FindNodesMsg{77, pair.b->id(), pair.b->id()}};
+  pair.mini.net.send(std::move(query), pair.line_b.device);
+  // Only B itself (validated) can be returned; the garbage is unvalidated.
+  // (B may appear under two endpoints: the learned one and the query's
+  // observed source.)
+  EXPECT_GE(got, 1u);
+  EXPECT_LE(got, 2u);
+}
+
+TEST(DhtNode, SloppyNodePropagatesUnvalidated) {
+  DhtNodeConfig sloppy;
+  sloppy.validate_before_propagate = false;
+  DhtPair pair(sloppy);
+  sim::Rng rng(9);
+  for (int i = 0; i < 4; ++i)
+    pair.a->learn_contact(
+        {NodeId160::random(rng), Endpoint{Ipv4Address{16, 5, 0, 1}, 1000}});
+  std::uint64_t got = 0;
+  pair.line_b.demux->bind(7000, [&](sim::Network&, const sim::Packet& p) {
+    if (const auto* m = std::any_cast<Message>(&p.payload))
+      if (const auto* nodes = std::get_if<NodesMsg>(m))
+        got = nodes->contacts.size();
+  });
+  sim::Packet query = sim::Packet::udp({pair.line_b.device_address, 7000},
+                                       pair.a->local_endpoint());
+  query.payload = Message{FindNodesMsg{78, pair.b->id(), pair.b->id()}};
+  pair.mini.net.send(std::move(query), pair.line_b.device);
+  EXPECT_GE(got, 4u);
+}
+
+TEST(DhtNode, TableEvictsWhenFull) {
+  DhtNodeConfig cfg;
+  cfg.table_capacity = 8;
+  DhtPair pair(cfg);
+  sim::Rng rng(13);
+  for (int i = 0; i < 30; ++i)
+    pair.a->learn_contact(
+        {NodeId160::random(rng),
+         Endpoint{Ipv4Address{16, 5, 0, static_cast<std::uint8_t>(i + 1)},
+                  1000}});
+  EXPECT_EQ(pair.a->table_size(), 8u);
+}
+
+TEST(Tracker, RecordsObservedEndpointsAndSamplesPeers) {
+  MiniNet mini;
+  // Tracker host at the core.
+  sim::NodeId tracker_host = mini.net.add_node(mini.net.root(), "tracker");
+  Ipv4Address tracker_addr{16, 255, 0, 50};
+  TrackerServer tracker(tracker_host, tracker_addr, sim::Rng(3), 10);
+  tracker.install(mini.net);
+
+  // A NAT444 peer announces; the tracker must see its *external* endpoint.
+  LineConfig lc;
+  lc.with_cpe = true;
+  lc.with_cgn = true;
+  lc.cgn_hop = 3;
+  lc.cpe.name = "cpe";
+  lc.cpe.mapping = nat::MappingType::full_cone;
+  lc.cgn.name = "cgn";
+  lc.cgn.mapping = nat::MappingType::full_cone;
+  auto line = mini.add_line(lc);
+
+  sim::Rng rng(4);
+  DhtNode peer(NodeId160::random(rng), Endpoint{line.device_address, 6881},
+               line.device, {}, rng.fork());
+  line.demux->bind(6881, [&](sim::Network& n, const sim::Packet& p) {
+    peer.handle(n, p);
+  });
+  peer.announce(mini.net, tracker.endpoint(), 42);
+  EXPECT_EQ(tracker.swarm_size(42), 1u);
+
+  // A second (public) peer joining the same swarm learns the first peer's
+  // external contact.
+  LineConfig pub;
+  pub.with_cpe = false;
+  pub.line_public = Ipv4Address{16, 0, 7, 7};
+  auto line2 = mini.add_line(pub, 77);
+  DhtNode peer2(NodeId160::random(rng), Endpoint{line2.device_address, 6881},
+                line2.device, {}, rng.fork());
+  line2.demux->bind(6881, [&](sim::Network& n, const sim::Packet& p) {
+    peer2.handle(n, p);
+  });
+  peer2.announce(mini.net, tracker.endpoint(), 42);
+  ASSERT_EQ(peer2.table_size(), 1u);
+  auto contacts = peer2.all_contacts();
+  EXPECT_TRUE(line.cgn->owns_external(contacts[0].endpoint.address))
+      << "the tracker must hand out the CGN-external endpoint, got "
+      << contacts[0].endpoint.to_string();
+}
+
+/// The full §4.1 leak chain: two peers behind one CGN (with hairpinning that
+/// preserves the internal source) end up knowing each other's *internal*
+/// endpoints, validated, ready to leak to a crawler.
+TEST(DhtLeakChain, HairpinPreservingCgnLeaksInternalEndpoints) {
+  MiniNet mini;
+  sim::NodeId tracker_host = mini.net.add_node(mini.net.root(), "tracker");
+  Ipv4Address tracker_addr{16, 255, 0, 50};
+  TrackerServer tracker(tracker_host, tracker_addr, sim::Rng(3), 10);
+  tracker.install(mini.net);
+
+  // One shared CGN; both subscribers are archetype B (no CPE).
+  nat::NatConfig cgn_cfg;
+  cgn_cfg.name = "cgn";
+  cgn_cfg.mapping = nat::MappingType::full_cone;
+  cgn_cfg.hairpinning = true;
+  cgn_cfg.hairpin_preserve_source = true;
+  cgn_cfg.udp_timeout_s = 120.0;
+
+  LineConfig lc;
+  lc.with_cpe = false;
+  lc.with_cgn = true;
+  lc.cgn = cgn_cfg;
+  lc.cgn_hop = 3;
+  lc.line_internal = Ipv4Address{100, 64, 1, 2};
+  auto line_a = mini.add_line(lc, 1);
+
+  // Second subscriber shares the first line's CGN.
+  sim::NodeId acc = mini.net.add_router_chain(line_a.cgn_node, 2, "acc2");
+  sim::NodeId dev_b = mini.net.add_node(acc, "dev-b");
+  Ipv4Address addr_b{100, 64, 2, 2};
+  mini.net.add_local_address(dev_b, addr_b);
+  mini.net.register_address(addr_b, dev_b, line_a.cgn_node);
+  sim::PortDemux demux_b;
+  demux_b.attach(mini.net, dev_b);
+
+  sim::Rng rng(6);
+  DhtNode peer_a(NodeId160::random(rng),
+                 Endpoint{line_a.device_address, 6881}, line_a.device, {},
+                 rng.fork());
+  DhtNode peer_b(NodeId160::random(rng), Endpoint{addr_b, 6881}, dev_b, {},
+                 rng.fork());
+  line_a.demux->bind(6881, [&](sim::Network& n, const sim::Packet& p) {
+    peer_a.handle(n, p);
+  });
+  demux_b.bind(6881, [&](sim::Network& n, const sim::Packet& p) {
+    peer_b.handle(n, p);
+  });
+
+  // Both join the same swarm; B announces second, so B learns A's external
+  // endpoint from the tracker.
+  peer_a.announce(mini.net, tracker.endpoint(), 1);
+  peer_b.announce(mini.net, tracker.endpoint(), 1);
+  ASSERT_GE(peer_b.table_size(), 1u);
+
+  // B validates A's external endpoint: the ping hairpins at the CGN and
+  // reaches A with B's internal source preserved. (With immediate swarm
+  // pings this already happened during the announce; maintenance only
+  // finishes any remaining validation.)
+  peer_b.run_maintenance(mini.net);
+  EXPECT_GT(peer_a.table_size(), 0u);
+  bool a_knows_b_internal = false;
+  for (const auto& c : peer_a.all_contacts())
+    if (c.endpoint.address == addr_b) a_knows_b_internal = true;
+  EXPECT_TRUE(a_knows_b_internal)
+      << "A must have observed B's internal endpoint via the hairpin";
+
+  // A validates that internal endpoint with a direct internal ping.
+  peer_a.run_maintenance(mini.net);
+  EXPECT_TRUE(peer_a.knows_validated({peer_b.id(), {addr_b, 6881}}))
+      << "the internal endpoint is reachable inside the ISP, so it validates";
+}
+
+/// Control experiment: with RFC-conformant hairpinning (source translated),
+/// no internal endpoints leak.
+TEST(DhtLeakChain, ConformantHairpinDoesNotLeak) {
+  MiniNet mini;
+  sim::NodeId tracker_host = mini.net.add_node(mini.net.root(), "tracker");
+  TrackerServer tracker(tracker_host, Ipv4Address{16, 255, 0, 50},
+                        sim::Rng(3), 10);
+  tracker.install(mini.net);
+
+  nat::NatConfig cgn_cfg;
+  cgn_cfg.name = "cgn";
+  cgn_cfg.mapping = nat::MappingType::full_cone;
+  cgn_cfg.hairpinning = true;
+  cgn_cfg.hairpin_preserve_source = false;  // correct behaviour
+
+  LineConfig lc;
+  lc.with_cpe = false;
+  lc.with_cgn = true;
+  lc.cgn = cgn_cfg;
+  auto line_a = mini.add_line(lc, 1);
+  sim::NodeId dev_b = mini.net.add_node(
+      mini.net.add_router_chain(line_a.cgn_node, 2, "acc2"), "dev-b");
+  Ipv4Address addr_b{10, 0, 2, 2};
+  mini.net.add_local_address(dev_b, addr_b);
+  mini.net.register_address(addr_b, dev_b, line_a.cgn_node);
+  sim::PortDemux demux_b;
+  demux_b.attach(mini.net, dev_b);
+
+  sim::Rng rng(6);
+  DhtNode peer_a(NodeId160::random(rng),
+                 Endpoint{line_a.device_address, 6881}, line_a.device, {},
+                 rng.fork());
+  DhtNode peer_b(NodeId160::random(rng), Endpoint{addr_b, 6881}, dev_b, {},
+                 rng.fork());
+  line_a.demux->bind(6881, [&](sim::Network& n, const sim::Packet& p) {
+    peer_a.handle(n, p);
+  });
+  demux_b.bind(6881, [&](sim::Network& n, const sim::Packet& p) {
+    peer_b.handle(n, p);
+  });
+
+  peer_a.announce(mini.net, tracker.endpoint(), 1);
+  peer_b.announce(mini.net, tracker.endpoint(), 1);
+  for (int i = 0; i < 3; ++i) {
+    peer_a.run_maintenance(mini.net);
+    peer_b.run_maintenance(mini.net);
+  }
+  for (const auto& c : peer_a.all_contacts())
+    EXPECT_FALSE(netcore::is_reserved(c.endpoint.address))
+        << "leaked " << c.endpoint.to_string();
+  for (const auto& c : peer_b.all_contacts())
+    EXPECT_FALSE(netcore::is_reserved(c.endpoint.address))
+        << "leaked " << c.endpoint.to_string();
+}
+
+}  // namespace
+}  // namespace cgn::dht

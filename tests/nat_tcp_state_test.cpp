@@ -1,0 +1,116 @@
+// RFC 5382-style TCP state tracking in the NAT engine: transitory
+// connections (handshaking, closing) time out fast; established ones live
+// for hours.
+#include "nat/nat_device.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgn::nat {
+namespace {
+
+using netcore::Endpoint;
+using netcore::Ipv4Address;
+using sim::Packet;
+using sim::TcpFlag;
+
+NatConfig config() {
+  NatConfig cfg;
+  cfg.name = "tcp-nat";
+  cfg.tcp_timeout_s = 7200.0;
+  cfg.tcp_transitory_timeout_s = 240.0;
+  return cfg;
+}
+
+std::vector<Ipv4Address> pool() { return {Ipv4Address{16, 1, 0, 10}}; }
+
+Endpoint remote() { return {Ipv4Address{16, 9, 9, 9}, 443}; }
+Endpoint internal() { return {Ipv4Address{192, 168, 1, 2}, 40000}; }
+
+TEST(NatTcpState, HalfOpenConnectionTimesOutFast) {
+  NatDevice nat(config(), pool(), sim::Rng(1));
+  Packet syn = Packet::tcp(internal(), remote(), TcpFlag::syn);
+  ASSERT_EQ(nat.process_outbound(syn, 0.0), sim::Middlebox::Verdict::forward);
+  // No reply ever comes; past the transitory timeout the mapping is gone.
+  Packet late = Packet::tcp(remote(), syn.src, TcpFlag::none);
+  EXPECT_EQ(nat.process_inbound(late, 241.0),
+            sim::Middlebox::Verdict::drop_no_mapping);
+}
+
+TEST(NatTcpState, EstablishedConnectionGetsLongTimeout) {
+  NatDevice nat(config(), pool(), sim::Rng(1));
+  Packet syn = Packet::tcp(internal(), remote(), TcpFlag::syn);
+  (void)nat.process_outbound(syn, 0.0);
+  // The peer's data packet establishes the connection...
+  Packet synack = Packet::tcp(remote(), syn.src, TcpFlag::none);
+  ASSERT_EQ(nat.process_inbound(synack, 1.0),
+            sim::Middlebox::Verdict::forward);
+  // ...and the mapping now survives a long idle period.
+  Packet late = Packet::tcp(remote(), syn.src, TcpFlag::none);
+  EXPECT_EQ(nat.process_inbound(late, 1.0 + 7000.0),
+            sim::Middlebox::Verdict::forward);
+  Packet too_late = Packet::tcp(remote(), syn.src, TcpFlag::none);
+  EXPECT_EQ(nat.process_inbound(too_late, 1.0 + 7000.0 + 7201.0),
+            sim::Middlebox::Verdict::drop_no_mapping);
+}
+
+TEST(NatTcpState, FinDropsBackToTransitoryTimeout) {
+  NatDevice nat(config(), pool(), sim::Rng(1));
+  Packet syn = Packet::tcp(internal(), remote(), TcpFlag::syn);
+  (void)nat.process_outbound(syn, 0.0);
+  Packet data = Packet::tcp(remote(), syn.src, TcpFlag::none);
+  (void)nat.process_inbound(data, 1.0);  // established
+  Packet fin = Packet::tcp(internal(), remote(), TcpFlag::fin);
+  (void)nat.process_outbound(fin, 2.0);  // closing
+  Packet late = Packet::tcp(remote(), syn.src, TcpFlag::none);
+  EXPECT_EQ(nat.process_inbound(late, 2.0 + 241.0),
+            sim::Middlebox::Verdict::drop_no_mapping)
+      << "a closing connection must not hold state for two hours";
+}
+
+TEST(NatTcpState, RstAlsoShortensTimeout) {
+  NatDevice nat(config(), pool(), sim::Rng(1));
+  Packet syn = Packet::tcp(internal(), remote(), TcpFlag::syn);
+  (void)nat.process_outbound(syn, 0.0);
+  Packet data = Packet::tcp(remote(), syn.src, TcpFlag::none);
+  (void)nat.process_inbound(data, 1.0);
+  Packet rst = Packet::tcp(remote(), syn.src, TcpFlag::rst);
+  (void)nat.process_inbound(rst, 2.0);
+  Packet late = Packet::tcp(remote(), syn.src, TcpFlag::none);
+  EXPECT_EQ(nat.process_inbound(late, 2.0 + 241.0),
+            sim::Middlebox::Verdict::drop_no_mapping);
+}
+
+TEST(NatTcpState, UdpUnaffectedByTcpTimers) {
+  auto cfg = config();
+  cfg.udp_timeout_s = 60.0;
+  NatDevice nat(cfg, pool(), sim::Rng(1));
+  Packet udp = Packet::udp(internal(), remote());
+  (void)nat.process_outbound(udp, 0.0);
+  Packet reply = Packet::udp(remote(), udp.src);
+  EXPECT_EQ(nat.process_inbound(reply, 61.0),
+            sim::Middlebox::Verdict::drop_no_mapping)
+      << "UDP must use the UDP timer regardless of TCP settings";
+}
+
+TEST(NatTcpState, ReestablishmentAfterCloseWorks) {
+  NatDevice nat(config(), pool(), sim::Rng(1));
+  Packet syn = Packet::tcp(internal(), remote(), TcpFlag::syn);
+  (void)nat.process_outbound(syn, 0.0);
+  Packet data = Packet::tcp(remote(), syn.src, TcpFlag::none);
+  (void)nat.process_inbound(data, 1.0);
+  Packet fin = Packet::tcp(internal(), remote(), TcpFlag::fin);
+  (void)nat.process_outbound(fin, 2.0);
+  // A new handshake on the same 5-tuple within the transitory window
+  // refreshes and re-establishes.
+  Packet syn2 = Packet::tcp(internal(), remote(), TcpFlag::syn);
+  (void)nat.process_outbound(syn2, 100.0);
+  Packet data2 = Packet::tcp(remote(), syn2.src, TcpFlag::none);
+  ASSERT_EQ(nat.process_inbound(data2, 101.0),
+            sim::Middlebox::Verdict::forward);
+  Packet late = Packet::tcp(remote(), syn2.src, TcpFlag::none);
+  EXPECT_EQ(nat.process_inbound(late, 101.0 + 3600.0),
+            sim::Middlebox::Verdict::forward);
+}
+
+}  // namespace
+}  // namespace cgn::nat

@@ -1,0 +1,150 @@
+#include "scenario/campaign.hpp"
+#include "scenario/internet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/bt_detector.hpp"
+#include "analysis/coverage.hpp"
+#include "analysis/netalyzr_detector.hpp"
+
+namespace cgn::scenario {
+namespace {
+
+InternetConfig small_config() {
+  InternetConfig cfg;
+  cfg.seed = 7;
+  cfg.routed_ases = 300;
+  cfg.pbl_eyeballs = 50;
+  cfg.apnic_eyeballs = 54;
+  cfg.cellular_ases = 8;
+  cfg.bt_peers_cgn_lo = 50;
+  cfg.bt_peers_cgn_hi = 90;
+  cfg.nz_sessions_lo = 10;
+  cfg.nz_sessions_hi = 20;
+  return cfg;
+}
+
+TEST(InternetBuilder, BuildsConsistentUniverse) {
+  auto internet = build_internet(small_config());
+  EXPECT_EQ(internet->registry.size(), 301u);  // + measurement infra AS
+  EXPECT_EQ(internet->registry.count_pbl_eyeball(), 50u);
+  EXPECT_EQ(internet->registry.count_apnic_eyeball(), 54u);
+  EXPECT_EQ(internet->registry.count_cellular(), 8u);
+  EXPECT_GT(internet->isps.size(), 10u);
+  EXPECT_GT(internet->bt_peers().size(), 100u);
+
+  // Every instrumented ISP is registered and routed.
+  for (const IspInstance& isp : internet->isps) {
+    EXPECT_TRUE(internet->registry.contains(isp.asn));
+    EXPECT_FALSE(isp.subscribers.empty());
+    if (isp.cgn_profile.has_value()) {
+      EXPECT_NE(isp.cgn, nullptr);
+      EXPECT_TRUE(internet->truth_has_cgn(isp.asn));
+    }
+    for (const Subscriber& s : isp.subscribers) {
+      EXPECT_NE(s.device, sim::kNoNode);
+      EXPECT_NE(s.demux, nullptr);
+      if (s.behind_cgn) EXPECT_TRUE(isp.cgn_profile.has_value());
+    }
+  }
+}
+
+TEST(InternetBuilder, DeterministicForSameSeed) {
+  auto a = build_internet(small_config());
+  auto b = build_internet(small_config());
+  ASSERT_EQ(a->isps.size(), b->isps.size());
+  for (std::size_t i = 0; i < a->isps.size(); ++i) {
+    EXPECT_EQ(a->isps[i].asn, b->isps[i].asn);
+    EXPECT_EQ(a->isps[i].subscribers.size(), b->isps[i].subscribers.size());
+    EXPECT_EQ(a->isps[i].cgn_profile.has_value(),
+              b->isps[i].cgn_profile.has_value());
+  }
+  EXPECT_EQ(a->bt_peers().size(), b->bt_peers().size());
+}
+
+TEST(InternetBuilder, SubscriberAddressingMatchesArchetypes) {
+  auto internet = build_internet(small_config());
+  for (const IspInstance& isp : internet->isps) {
+    for (const Subscriber& s : isp.subscribers) {
+      if (isp.cellular) {
+        EXPECT_EQ(s.cpe, nullptr) << "cellular devices attach directly";
+        if (!s.behind_cgn)
+          EXPECT_EQ(internet->routes.origin_of(s.device_address), isp.asn);
+      } else if (s.cpe) {
+        EXPECT_TRUE(netcore::is_reserved(s.device_address))
+            << "LAN devices live in RFC1918 space";
+      }
+      if (!s.behind_cgn && !s.cpe && !isp.cellular)
+        EXPECT_EQ(internet->routes.origin_of(s.device_address), isp.asn);
+    }
+  }
+}
+
+TEST(FullPipeline, CrawlDetectsLeakyCgnsWithoutFalsePositives) {
+  auto internet = build_internet(small_config());
+  run_bittorrent_phase(*internet);
+  auto crawler = run_crawl_phase(*internet);
+
+  const auto& data = crawler->dataset();
+  EXPECT_GT(data.queried_peers(), internet->bt_peers().size() / 3)
+      << "a healthy crawl reaches a good share of the swarm";
+  EXPECT_GT(data.leaks().size(), 0u);
+
+  analysis::BtDetector detector;
+  auto result = detector.analyze(data, internet->routes);
+
+  std::size_t positives = 0;
+  for (const auto& [asn, verdict] : result.per_as) {
+    if (!verdict.cgn_positive) continue;
+    ++positives;
+    EXPECT_TRUE(internet->truth_has_cgn(asn))
+        << "BitTorrent detection must not false-positive (AS" << asn << ")";
+  }
+  EXPECT_GT(positives, 0u) << "at least some CGNs must be detectable";
+}
+
+TEST(FullPipeline, NetalyzrDetectsCgnsWithoutFalsePositives) {
+  auto internet = build_internet(small_config());
+  NetalyzrCampaignConfig cfg;
+  cfg.enum_fraction = 0.0;  // keep this test fast
+  cfg.stun_fraction = 0.0;
+  auto sessions = run_netalyzr_campaign(*internet, cfg);
+  EXPECT_GT(sessions.size(), 100u);
+
+  analysis::NetalyzrDetector detector;
+  auto result = detector.analyze(sessions, internet->routes);
+
+  std::size_t cell_pos = 0, noncell_pos = 0;
+  for (const auto& [asn, verdict] : result.per_as) {
+    if (!verdict.covered || !verdict.cgn_positive) continue;
+    EXPECT_TRUE(internet->truth_has_cgn(asn))
+        << "Netalyzr detection must not false-positive (AS" << asn << ")";
+    (verdict.cellular ? cell_pos : noncell_pos)++;
+  }
+  EXPECT_GT(cell_pos + noncell_pos, 0u);
+
+  // Table 4 shape: non-cellular devices overwhelmingly sit in 192X space.
+  const auto& col = result.table4.noncellular_dev;
+  ASSERT_GT(col.n, 0u);
+  EXPECT_GT(col.fraction(analysis::Table4Row::r192), 0.70);
+}
+
+TEST(FullPipeline, CellularAssignmentsFollowGroundTruth) {
+  auto internet = build_internet(small_config());
+  NetalyzrCampaignConfig cfg;
+  cfg.enum_fraction = 0.0;
+  cfg.stun_fraction = 0.0;
+  auto sessions = run_netalyzr_campaign(*internet, cfg);
+  analysis::NetalyzrDetector detector;
+  auto result = detector.analyze(sessions, internet->routes);
+
+  for (const auto& [asn, verdict] : result.per_as) {
+    if (!verdict.cellular || !verdict.covered) continue;
+    EXPECT_EQ(verdict.cgn_positive, internet->truth_has_cgn(asn))
+        << "cellular detection is direct and should be exact (AS" << asn
+        << ")";
+  }
+}
+
+}  // namespace
+}  // namespace cgn::scenario

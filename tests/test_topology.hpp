@@ -1,0 +1,120 @@
+// Shared hand-built topology for tests: one server on the public side and a
+// configurable subscriber line (optional CPE, optional CGN) on the access
+// side — the three subscriber archetypes of Figure 2 in miniature.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nat/nat_device.hpp"
+#include "netcore/ipv4.hpp"
+#include "sim/clock.hpp"
+#include "sim/demux.hpp"
+#include "sim/network.hpp"
+#include "sim/rng.hpp"
+
+namespace cgn::test {
+
+using netcore::Endpoint;
+using netcore::Ipv4Address;
+using netcore::Protocol;
+
+struct LineConfig {
+  bool with_cpe = true;
+  bool with_cgn = false;
+  int cgn_hop = 3;  ///< hops from device to the CGN (with CPE: >= 2)
+  nat::NatConfig cpe;
+  nat::NatConfig cgn;
+  int cgn_pool_size = 4;
+  Ipv4Address device_address{192, 168, 1, 2};
+  Ipv4Address line_internal{10, 0, 1, 2};  ///< CPE WAN addr when behind CGN
+  Ipv4Address line_public{16, 0, 1, 2};    ///< public addr when no CGN
+};
+
+/// A miniature Internet: core -> server chain -> server host, and one
+/// subscriber line per add_line() call.
+class MiniNet {
+ public:
+  MiniNet() : net(clock) {
+    sim::NodeId rack = net.add_router_chain(net.root(), 2, "infra");
+    server_host = net.add_node(rack, "server");
+    server_address = Ipv4Address{16, 255, 0, 10};
+    net.add_local_address(server_host, server_address);
+    net.register_address(server_address, server_host, net.root());
+  }
+
+  struct Line {
+    sim::NodeId device = sim::kNoNode;
+    Ipv4Address device_address;
+    nat::NatDevice* cpe = nullptr;
+    nat::NatDevice* cgn = nullptr;
+    sim::NodeId cpe_node = sim::kNoNode;
+    sim::NodeId cgn_node = sim::kNoNode;
+    sim::PortDemux* demux = nullptr;
+  };
+
+  Line add_line(const LineConfig& cfg, std::uint64_t seed = 7) {
+    Line line;
+    ++line_count_;
+    sim::Rng rng(seed);
+    sim::NodeId agg = net.add_router_chain(net.root(), 1, "agg");
+    sim::NodeId attach = agg;
+    if (cfg.with_cgn) {
+      line.cgn_node = net.add_node(agg, "cgn");
+      std::vector<Ipv4Address> pool;
+      // Each line's CGN gets its own public pool block.
+      auto base = static_cast<std::uint8_t>(10 + line_count_);
+      for (int i = 0; i < cfg.cgn_pool_size; ++i)
+        pool.push_back(Ipv4Address(Ipv4Address{16, base, 0, 10}.value() +
+                                   static_cast<std::uint32_t>(i)));
+      auto cgn = std::make_unique<nat::NatDevice>(cfg.cgn, pool, rng.fork());
+      line.cgn = cgn.get();
+      nats.push_back(std::move(cgn));
+      net.set_middlebox(line.cgn_node, line.cgn);
+      for (const auto& a : pool)
+        net.register_address(a, line.cgn_node, net.root());
+      int chain = cfg.with_cpe ? cfg.cgn_hop - 2 : cfg.cgn_hop - 1;
+      attach = net.add_router_chain(line.cgn_node, std::max(chain, 0), "acc");
+    }
+
+    Ipv4Address line_addr = cfg.with_cgn ? cfg.line_internal : cfg.line_public;
+    sim::NodeId line_scope = cfg.with_cgn ? line.cgn_node : net.root();
+
+    if (cfg.with_cpe) {
+      line.cpe_node = net.add_node(attach, "cpe");
+      auto cpe = std::make_unique<nat::NatDevice>(
+          cfg.cpe, std::vector<Ipv4Address>{line_addr}, rng.fork());
+      line.cpe = cpe.get();
+      nats.push_back(std::move(cpe));
+      net.set_middlebox(line.cpe_node, line.cpe);
+      net.register_address(line_addr, line.cpe_node, line_scope);
+      line.device = net.add_node(line.cpe_node, "device");
+      line.device_address = cfg.device_address;
+      net.add_local_address(line.device, line.device_address);
+      net.register_address(line.device_address, line.device, line.cpe_node);
+    } else {
+      line.device = net.add_node(attach, "device");
+      line.device_address = line_addr;
+      net.add_local_address(line.device, line.device_address);
+      net.register_address(line.device_address, line.device, line_scope);
+    }
+
+    auto demux = std::make_unique<sim::PortDemux>();
+    line.demux = demux.get();
+    demux->attach(net, line.device);
+    demuxes.push_back(std::move(demux));
+    return line;
+  }
+
+  sim::Clock clock;
+  sim::Network net;
+  sim::NodeId server_host = sim::kNoNode;
+  Ipv4Address server_address;
+  std::vector<std::unique_ptr<nat::NatDevice>> nats;
+  std::vector<std::unique_ptr<sim::PortDemux>> demuxes;
+
+ private:
+  int line_count_ = 0;
+};
+
+}  // namespace cgn::test

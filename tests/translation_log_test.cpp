@@ -1,0 +1,109 @@
+// Translation logging and the subscriber-attribution query (paper §2:
+// operators must be able to map flows back to subscribers).
+#include "nat/translation_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nat/nat_device.hpp"
+
+namespace cgn::nat {
+namespace {
+
+using netcore::Endpoint;
+using netcore::Ipv4Address;
+using netcore::Protocol;
+using sim::Packet;
+
+struct LoggedNat {
+  TranslationLog log;
+  NatDevice nat;
+
+  explicit LoggedNat(NatConfig cfg = make_config())
+      : nat(std::move(cfg), {Ipv4Address{16, 1, 0, 10}}, sim::Rng(1)) {
+    nat.set_observer(
+        [this](Protocol proto, const Endpoint& internal,
+               const Endpoint& external, sim::SimTime created_at) {
+          log.on_created({proto, internal, external, created_at, {}});
+        },
+        [this](Protocol proto, const Endpoint& external,
+               sim::SimTime created_at, sim::SimTime now) {
+          log.on_expired(proto, external, created_at, now);
+        });
+  }
+
+  static NatConfig make_config() {
+    NatConfig cfg;
+    cfg.name = "logged";
+    cfg.udp_timeout_s = 60.0;
+    return cfg;
+  }
+};
+
+TEST(TranslationLog, RecordsMappingLifecycle) {
+  LoggedNat world;
+  Packet out = Packet::udp({Ipv4Address{10, 0, 0, 5}, 5000},
+                           {Ipv4Address{16, 9, 9, 9}, 80});
+  (void)world.nat.process_outbound(out, 100.0);
+  ASSERT_EQ(world.log.size(), 1u);
+  const auto& rec = world.log.records()[0];
+  EXPECT_EQ(rec.internal, (Endpoint{Ipv4Address{10, 0, 0, 5}, 5000}));
+  EXPECT_EQ(rec.external, out.src);
+  EXPECT_EQ(rec.created_at, 100.0);
+  EXPECT_FALSE(rec.expired_at.has_value());
+
+  world.nat.collect_garbage(300.0);
+  EXPECT_TRUE(world.log.records()[0].expired_at.has_value());
+}
+
+TEST(TranslationLog, AttributionAnswersWhoUsedThePort) {
+  LoggedNat world;
+  Packet a = Packet::udp({Ipv4Address{10, 0, 0, 5}, 5000},
+                         {Ipv4Address{16, 9, 9, 9}, 80});
+  (void)world.nat.process_outbound(a, 100.0);
+  Endpoint shared_ext = a.src;
+  world.nat.collect_garbage(500.0);  // a's mapping expires
+
+  // A second subscriber later gets the *same* external port.
+  Packet b = Packet::udp({Ipv4Address{10, 0, 0, 6}, 5000},
+                         {Ipv4Address{16, 9, 9, 9}, 80});
+  (void)world.nat.process_outbound(b, 1000.0);
+  ASSERT_EQ(b.src, shared_ext) << "port preservation reuses the freed port";
+
+  auto at_120 = world.log.attribute(Protocol::udp, shared_ext, 120.0);
+  ASSERT_TRUE(at_120.has_value());
+  EXPECT_EQ(at_120->address, (Ipv4Address{10, 0, 0, 5}));
+  auto at_1010 = world.log.attribute(Protocol::udp, shared_ext, 1010.0);
+  ASSERT_TRUE(at_1010.has_value());
+  EXPECT_EQ(at_1010->address, (Ipv4Address{10, 0, 0, 6}))
+      << "attribution must respect record time windows";
+  EXPECT_FALSE(world.log.attribute(Protocol::udp, shared_ext, 700.0))
+      << "nobody held the port between the two flows";
+}
+
+TEST(TranslationLog, RecordsPerSubscriberDimensioning) {
+  LoggedNat world;
+  for (int s = 0; s < 4; ++s)
+    for (int f = 0; f < 10; ++f) {
+      Packet p = Packet::udp(
+          {Ipv4Address(10, 0, 0, static_cast<std::uint8_t>(5 + s)),
+           static_cast<std::uint16_t>(5000 + f)},
+          {Ipv4Address{16, 9, 9, 9}, static_cast<std::uint16_t>(80 + f)});
+      (void)world.nat.process_outbound(p, 0.0);
+    }
+  EXPECT_EQ(world.log.size(), 40u);
+  EXPECT_DOUBLE_EQ(world.log.records_per_subscriber(), 10.0);
+}
+
+TEST(TranslationLog, RenumberingClosesRecords) {
+  LoggedNat world;
+  Packet p = Packet::udp({Ipv4Address{10, 0, 0, 5}, 5000},
+                         {Ipv4Address{16, 9, 9, 9}, 80});
+  (void)world.nat.process_outbound(p, 10.0);
+  ASSERT_TRUE(world.nat.renumber_external(Ipv4Address{16, 1, 0, 10},
+                                          Ipv4Address{16, 1, 0, 99}));
+  EXPECT_TRUE(world.log.records()[0].expired_at.has_value())
+      << "mappings dropped by renumbering must close their log records";
+}
+
+}  // namespace
+}  // namespace cgn::nat
