@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_leak_graphs.dir/bench_fig03_leak_graphs.cpp.o"
+  "CMakeFiles/bench_fig03_leak_graphs.dir/bench_fig03_leak_graphs.cpp.o.d"
+  "bench_fig03_leak_graphs"
+  "bench_fig03_leak_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_leak_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

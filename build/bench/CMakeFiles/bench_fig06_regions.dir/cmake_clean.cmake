@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_regions.dir/bench_fig06_regions.cpp.o"
+  "CMakeFiles/bench_fig06_regions.dir/bench_fig06_regions.cpp.o.d"
+  "bench_fig06_regions"
+  "bench_fig06_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig11_nat_distance.cpp" "bench/CMakeFiles/bench_fig11_nat_distance.dir/bench_fig11_nat_distance.cpp.o" "gcc" "bench/CMakeFiles/bench_fig11_nat_distance.dir/bench_fig11_nat_distance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenario/CMakeFiles/cgn_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/cgn_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/cgn_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/survey/CMakeFiles/cgn_survey.dir/DependInfo.cmake"
+  "/root/repo/build/src/crawler/CMakeFiles/cgn_crawler.dir/DependInfo.cmake"
+  "/root/repo/build/src/dht/CMakeFiles/cgn_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/netalyzr/CMakeFiles/cgn_netalyzr.dir/DependInfo.cmake"
+  "/root/repo/build/src/nat/CMakeFiles/cgn_nat.dir/DependInfo.cmake"
+  "/root/repo/build/src/stun/CMakeFiles/cgn_stun.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cgn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netcore/CMakeFiles/cgn_netcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

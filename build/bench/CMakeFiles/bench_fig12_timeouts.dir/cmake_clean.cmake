@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_timeouts.dir/bench_fig12_timeouts.cpp.o"
+  "CMakeFiles/bench_fig12_timeouts.dir/bench_fig12_timeouts.cpp.o.d"
+  "bench_fig12_timeouts"
+  "bench_fig12_timeouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_timeouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

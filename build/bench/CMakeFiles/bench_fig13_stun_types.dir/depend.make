@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig13_stun_types.
+# This may be replaced when dependencies are built.

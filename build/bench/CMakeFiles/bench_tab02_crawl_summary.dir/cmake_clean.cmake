@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab02_crawl_summary.dir/bench_tab02_crawl_summary.cpp.o"
+  "CMakeFiles/bench_tab02_crawl_summary.dir/bench_tab02_crawl_summary.cpp.o.d"
+  "bench_tab02_crawl_summary"
+  "bench_tab02_crawl_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab02_crawl_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab03_leakage.dir/bench_tab03_leakage.cpp.o"
+  "CMakeFiles/bench_tab03_leakage.dir/bench_tab03_leakage.cpp.o.d"
+  "bench_tab03_leakage"
+  "bench_tab03_leakage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab03_leakage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab04_addresses.dir/bench_tab04_addresses.cpp.o"
+  "CMakeFiles/bench_tab04_addresses.dir/bench_tab04_addresses.cpp.o.d"
+  "bench_tab04_addresses"
+  "bench_tab04_addresses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab04_addresses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

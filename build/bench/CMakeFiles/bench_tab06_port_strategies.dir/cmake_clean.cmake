@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab06_port_strategies.dir/bench_tab06_port_strategies.cpp.o"
+  "CMakeFiles/bench_tab06_port_strategies.dir/bench_tab06_port_strategies.cpp.o.d"
+  "bench_tab06_port_strategies"
+  "bench_tab06_port_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab06_port_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab07_ttl_detection.dir/bench_tab07_ttl_detection.cpp.o"
+  "CMakeFiles/bench_tab07_ttl_detection.dir/bench_tab07_ttl_detection.cpp.o.d"
+  "bench_tab07_ttl_detection"
+  "bench_tab07_ttl_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab07_ttl_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dht_crawl_survey.dir/dht_crawl_survey.cpp.o"
+  "CMakeFiles/dht_crawl_survey.dir/dht_crawl_survey.cpp.o.d"
+  "dht_crawl_survey"
+  "dht_crawl_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dht_crawl_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

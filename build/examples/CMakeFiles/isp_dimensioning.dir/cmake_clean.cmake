@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isp_dimensioning.dir/isp_dimensioning.cpp.o"
+  "CMakeFiles/isp_dimensioning.dir/isp_dimensioning.cpp.o.d"
+  "isp_dimensioning"
+  "isp_dimensioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isp_dimensioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

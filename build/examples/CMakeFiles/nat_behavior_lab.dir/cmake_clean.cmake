@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nat_behavior_lab.dir/nat_behavior_lab.cpp.o"
+  "CMakeFiles/nat_behavior_lab.dir/nat_behavior_lab.cpp.o.d"
+  "nat_behavior_lab"
+  "nat_behavior_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nat_behavior_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_connectivity.dir/p2p_connectivity.cpp.o"
+  "CMakeFiles/p2p_connectivity.dir/p2p_connectivity.cpp.o.d"
+  "p2p_connectivity"
+  "p2p_connectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_connectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("netcore")
+subdirs("sim")
+subdirs("nat")
+subdirs("dht")
+subdirs("stun")
+subdirs("traversal")
+subdirs("crawler")
+subdirs("netalyzr")
+subdirs("analysis")
+subdirs("report")
+subdirs("survey")
+subdirs("scenario")

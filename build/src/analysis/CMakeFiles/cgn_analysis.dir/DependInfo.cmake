@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/bt_detector.cpp" "src/analysis/CMakeFiles/cgn_analysis.dir/bt_detector.cpp.o" "gcc" "src/analysis/CMakeFiles/cgn_analysis.dir/bt_detector.cpp.o.d"
+  "/root/repo/src/analysis/coverage.cpp" "src/analysis/CMakeFiles/cgn_analysis.dir/coverage.cpp.o" "gcc" "src/analysis/CMakeFiles/cgn_analysis.dir/coverage.cpp.o.d"
+  "/root/repo/src/analysis/netalyzr_detector.cpp" "src/analysis/CMakeFiles/cgn_analysis.dir/netalyzr_detector.cpp.o" "gcc" "src/analysis/CMakeFiles/cgn_analysis.dir/netalyzr_detector.cpp.o.d"
+  "/root/repo/src/analysis/path_analysis.cpp" "src/analysis/CMakeFiles/cgn_analysis.dir/path_analysis.cpp.o" "gcc" "src/analysis/CMakeFiles/cgn_analysis.dir/path_analysis.cpp.o.d"
+  "/root/repo/src/analysis/port_analysis.cpp" "src/analysis/CMakeFiles/cgn_analysis.dir/port_analysis.cpp.o" "gcc" "src/analysis/CMakeFiles/cgn_analysis.dir/port_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crawler/CMakeFiles/cgn_crawler.dir/DependInfo.cmake"
+  "/root/repo/build/src/netalyzr/CMakeFiles/cgn_netalyzr.dir/DependInfo.cmake"
+  "/root/repo/build/src/stun/CMakeFiles/cgn_stun.dir/DependInfo.cmake"
+  "/root/repo/build/src/netcore/CMakeFiles/cgn_netcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/dht/CMakeFiles/cgn_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/nat/CMakeFiles/cgn_nat.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cgn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgn_analysis.dir/bt_detector.cpp.o"
+  "CMakeFiles/cgn_analysis.dir/bt_detector.cpp.o.d"
+  "CMakeFiles/cgn_analysis.dir/coverage.cpp.o"
+  "CMakeFiles/cgn_analysis.dir/coverage.cpp.o.d"
+  "CMakeFiles/cgn_analysis.dir/netalyzr_detector.cpp.o"
+  "CMakeFiles/cgn_analysis.dir/netalyzr_detector.cpp.o.d"
+  "CMakeFiles/cgn_analysis.dir/path_analysis.cpp.o"
+  "CMakeFiles/cgn_analysis.dir/path_analysis.cpp.o.d"
+  "CMakeFiles/cgn_analysis.dir/port_analysis.cpp.o"
+  "CMakeFiles/cgn_analysis.dir/port_analysis.cpp.o.d"
+  "libcgn_analysis.a"
+  "libcgn_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgn_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crawler/dht_crawler.cpp" "src/crawler/CMakeFiles/cgn_crawler.dir/dht_crawler.cpp.o" "gcc" "src/crawler/CMakeFiles/cgn_crawler.dir/dht_crawler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dht/CMakeFiles/cgn_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cgn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netcore/CMakeFiles/cgn_netcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

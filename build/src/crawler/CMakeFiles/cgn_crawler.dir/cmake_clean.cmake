@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgn_crawler.dir/dht_crawler.cpp.o"
+  "CMakeFiles/cgn_crawler.dir/dht_crawler.cpp.o.d"
+  "libcgn_crawler.a"
+  "libcgn_crawler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgn_crawler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgn_dht.dir/dht_node.cpp.o"
+  "CMakeFiles/cgn_dht.dir/dht_node.cpp.o.d"
+  "CMakeFiles/cgn_dht.dir/node_id.cpp.o"
+  "CMakeFiles/cgn_dht.dir/node_id.cpp.o.d"
+  "CMakeFiles/cgn_dht.dir/tracker.cpp.o"
+  "CMakeFiles/cgn_dht.dir/tracker.cpp.o.d"
+  "libcgn_dht.a"
+  "libcgn_dht.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgn_dht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgn_nat.dir/nat_device.cpp.o"
+  "CMakeFiles/cgn_nat.dir/nat_device.cpp.o.d"
+  "libcgn_nat.a"
+  "libcgn_nat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgn_nat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

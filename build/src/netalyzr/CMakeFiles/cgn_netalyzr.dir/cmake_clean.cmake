@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgn_netalyzr.dir/client.cpp.o"
+  "CMakeFiles/cgn_netalyzr.dir/client.cpp.o.d"
+  "CMakeFiles/cgn_netalyzr.dir/server.cpp.o"
+  "CMakeFiles/cgn_netalyzr.dir/server.cpp.o.d"
+  "libcgn_netalyzr.a"
+  "libcgn_netalyzr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgn_netalyzr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netcore/address_pool.cpp" "src/netcore/CMakeFiles/cgn_netcore.dir/address_pool.cpp.o" "gcc" "src/netcore/CMakeFiles/cgn_netcore.dir/address_pool.cpp.o.d"
+  "/root/repo/src/netcore/as_registry.cpp" "src/netcore/CMakeFiles/cgn_netcore.dir/as_registry.cpp.o" "gcc" "src/netcore/CMakeFiles/cgn_netcore.dir/as_registry.cpp.o.d"
+  "/root/repo/src/netcore/ipv4.cpp" "src/netcore/CMakeFiles/cgn_netcore.dir/ipv4.cpp.o" "gcc" "src/netcore/CMakeFiles/cgn_netcore.dir/ipv4.cpp.o.d"
+  "/root/repo/src/netcore/routing_table.cpp" "src/netcore/CMakeFiles/cgn_netcore.dir/routing_table.cpp.o" "gcc" "src/netcore/CMakeFiles/cgn_netcore.dir/routing_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgn_netcore.dir/address_pool.cpp.o"
+  "CMakeFiles/cgn_netcore.dir/address_pool.cpp.o.d"
+  "CMakeFiles/cgn_netcore.dir/as_registry.cpp.o"
+  "CMakeFiles/cgn_netcore.dir/as_registry.cpp.o.d"
+  "CMakeFiles/cgn_netcore.dir/ipv4.cpp.o"
+  "CMakeFiles/cgn_netcore.dir/ipv4.cpp.o.d"
+  "CMakeFiles/cgn_netcore.dir/routing_table.cpp.o"
+  "CMakeFiles/cgn_netcore.dir/routing_table.cpp.o.d"
+  "libcgn_netcore.a"
+  "libcgn_netcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgn_netcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgn_report.dir/report.cpp.o"
+  "CMakeFiles/cgn_report.dir/report.cpp.o.d"
+  "libcgn_report.a"
+  "libcgn_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgn_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

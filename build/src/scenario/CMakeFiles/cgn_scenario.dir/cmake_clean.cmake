@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgn_scenario.dir/campaign.cpp.o"
+  "CMakeFiles/cgn_scenario.dir/campaign.cpp.o.d"
+  "CMakeFiles/cgn_scenario.dir/churn.cpp.o"
+  "CMakeFiles/cgn_scenario.dir/churn.cpp.o.d"
+  "CMakeFiles/cgn_scenario.dir/internet.cpp.o"
+  "CMakeFiles/cgn_scenario.dir/internet.cpp.o.d"
+  "CMakeFiles/cgn_scenario.dir/profiles.cpp.o"
+  "CMakeFiles/cgn_scenario.dir/profiles.cpp.o.d"
+  "libcgn_scenario.a"
+  "libcgn_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgn_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgn_sim.dir/network.cpp.o"
+  "CMakeFiles/cgn_sim.dir/network.cpp.o.d"
+  "libcgn_sim.a"
+  "libcgn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgn_stun.dir/stun.cpp.o"
+  "CMakeFiles/cgn_stun.dir/stun.cpp.o.d"
+  "libcgn_stun.a"
+  "libcgn_stun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgn_stun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cgn_stun.
+# This may be replaced when dependencies are built.

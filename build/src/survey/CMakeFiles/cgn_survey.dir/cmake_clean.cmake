@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgn_survey.dir/survey.cpp.o"
+  "CMakeFiles/cgn_survey.dir/survey.cpp.o.d"
+  "libcgn_survey.a"
+  "libcgn_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgn_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgn_traversal.dir/hole_punch.cpp.o"
+  "CMakeFiles/cgn_traversal.dir/hole_punch.cpp.o.d"
+  "libcgn_traversal.a"
+  "libcgn_traversal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgn_traversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

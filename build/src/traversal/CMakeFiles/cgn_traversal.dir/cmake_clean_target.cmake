@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcgn_traversal.a"
+)

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_test.cpp" "tests/CMakeFiles/cgn_tests.dir/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/cgn_tests.dir/analysis_test.cpp.o.d"
+  "/root/repo/tests/campaign_test.cpp" "tests/CMakeFiles/cgn_tests.dir/campaign_test.cpp.o" "gcc" "tests/CMakeFiles/cgn_tests.dir/campaign_test.cpp.o.d"
+  "/root/repo/tests/churn_test.cpp" "tests/CMakeFiles/cgn_tests.dir/churn_test.cpp.o" "gcc" "tests/CMakeFiles/cgn_tests.dir/churn_test.cpp.o.d"
+  "/root/repo/tests/crawler_test.cpp" "tests/CMakeFiles/cgn_tests.dir/crawler_test.cpp.o" "gcc" "tests/CMakeFiles/cgn_tests.dir/crawler_test.cpp.o.d"
+  "/root/repo/tests/dht_crawler_edge_test.cpp" "tests/CMakeFiles/cgn_tests.dir/dht_crawler_edge_test.cpp.o" "gcc" "tests/CMakeFiles/cgn_tests.dir/dht_crawler_edge_test.cpp.o.d"
+  "/root/repo/tests/dht_test.cpp" "tests/CMakeFiles/cgn_tests.dir/dht_test.cpp.o" "gcc" "tests/CMakeFiles/cgn_tests.dir/dht_test.cpp.o.d"
+  "/root/repo/tests/misc_edge_test.cpp" "tests/CMakeFiles/cgn_tests.dir/misc_edge_test.cpp.o" "gcc" "tests/CMakeFiles/cgn_tests.dir/misc_edge_test.cpp.o.d"
+  "/root/repo/tests/nat_device_test.cpp" "tests/CMakeFiles/cgn_tests.dir/nat_device_test.cpp.o" "gcc" "tests/CMakeFiles/cgn_tests.dir/nat_device_test.cpp.o.d"
+  "/root/repo/tests/nat_property_test.cpp" "tests/CMakeFiles/cgn_tests.dir/nat_property_test.cpp.o" "gcc" "tests/CMakeFiles/cgn_tests.dir/nat_property_test.cpp.o.d"
+  "/root/repo/tests/nat_tcp_state_test.cpp" "tests/CMakeFiles/cgn_tests.dir/nat_tcp_state_test.cpp.o" "gcc" "tests/CMakeFiles/cgn_tests.dir/nat_tcp_state_test.cpp.o.d"
+  "/root/repo/tests/netalyzr_test.cpp" "tests/CMakeFiles/cgn_tests.dir/netalyzr_test.cpp.o" "gcc" "tests/CMakeFiles/cgn_tests.dir/netalyzr_test.cpp.o.d"
+  "/root/repo/tests/netcore_ipv4_test.cpp" "tests/CMakeFiles/cgn_tests.dir/netcore_ipv4_test.cpp.o" "gcc" "tests/CMakeFiles/cgn_tests.dir/netcore_ipv4_test.cpp.o.d"
+  "/root/repo/tests/netcore_routing_test.cpp" "tests/CMakeFiles/cgn_tests.dir/netcore_routing_test.cpp.o" "gcc" "tests/CMakeFiles/cgn_tests.dir/netcore_routing_test.cpp.o.d"
+  "/root/repo/tests/network_nat_integration_test.cpp" "tests/CMakeFiles/cgn_tests.dir/network_nat_integration_test.cpp.o" "gcc" "tests/CMakeFiles/cgn_tests.dir/network_nat_integration_test.cpp.o.d"
+  "/root/repo/tests/report_survey_test.cpp" "tests/CMakeFiles/cgn_tests.dir/report_survey_test.cpp.o" "gcc" "tests/CMakeFiles/cgn_tests.dir/report_survey_test.cpp.o.d"
+  "/root/repo/tests/scenario_test.cpp" "tests/CMakeFiles/cgn_tests.dir/scenario_test.cpp.o" "gcc" "tests/CMakeFiles/cgn_tests.dir/scenario_test.cpp.o.d"
+  "/root/repo/tests/sim_network_test.cpp" "tests/CMakeFiles/cgn_tests.dir/sim_network_test.cpp.o" "gcc" "tests/CMakeFiles/cgn_tests.dir/sim_network_test.cpp.o.d"
+  "/root/repo/tests/stun_behavior_test.cpp" "tests/CMakeFiles/cgn_tests.dir/stun_behavior_test.cpp.o" "gcc" "tests/CMakeFiles/cgn_tests.dir/stun_behavior_test.cpp.o.d"
+  "/root/repo/tests/stun_test.cpp" "tests/CMakeFiles/cgn_tests.dir/stun_test.cpp.o" "gcc" "tests/CMakeFiles/cgn_tests.dir/stun_test.cpp.o.d"
+  "/root/repo/tests/translation_log_test.cpp" "tests/CMakeFiles/cgn_tests.dir/translation_log_test.cpp.o" "gcc" "tests/CMakeFiles/cgn_tests.dir/translation_log_test.cpp.o.d"
+  "/root/repo/tests/traversal_test.cpp" "tests/CMakeFiles/cgn_tests.dir/traversal_test.cpp.o" "gcc" "tests/CMakeFiles/cgn_tests.dir/traversal_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/traversal/CMakeFiles/cgn_traversal.dir/DependInfo.cmake"
+  "/root/repo/build/src/scenario/CMakeFiles/cgn_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/cgn_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/cgn_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/survey/CMakeFiles/cgn_survey.dir/DependInfo.cmake"
+  "/root/repo/build/src/crawler/CMakeFiles/cgn_crawler.dir/DependInfo.cmake"
+  "/root/repo/build/src/dht/CMakeFiles/cgn_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/netalyzr/CMakeFiles/cgn_netalyzr.dir/DependInfo.cmake"
+  "/root/repo/build/src/nat/CMakeFiles/cgn_nat.dir/DependInfo.cmake"
+  "/root/repo/build/src/stun/CMakeFiles/cgn_stun.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cgn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netcore/CMakeFiles/cgn_netcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
