@@ -110,5 +110,12 @@ int main() {
   }
   n_table.print(std::cout);
   std::cout << "  [paper's choice: n=10]\n";
+
+  bench::write_bench_json(
+      "ablation_detection",
+      {{"renumbering_events", static_cast<double>(churn.events_applied)},
+       {"lines_renumbered", static_cast<double>(churn.lines_renumbered)},
+       {"netalyzr_sessions", static_cast<double>(sessions.size())},
+       {"observed_leaks", static_cast<double>(crawl.leaks().size())}});
   return 0;
 }

@@ -48,5 +48,13 @@ int main() {
   table.add_row({"concern: ownership", report::pct(t.concern_ownership),
                  "42%"});
   table.print(std::cout);
+
+  bench::write_bench_json(
+      "fig01_survey",
+      {{"respondents", static_cast<double>(t.n)},
+       {"cgn_deployed", t.cgn_deployed},
+       {"cgn_considering", t.cgn_considering},
+       {"ipv6_most", t.ipv6_most},
+       {"scarcity_facing", t.scarcity_facing}});
   return 0;
 }

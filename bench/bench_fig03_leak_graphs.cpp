@@ -109,5 +109,12 @@ int main() {
                "exactly one external peer; in AS12874 (FastWEB) many peers\n"
                "behind different external IPs leak overlapping internal\n"
                "peers — the NAT-pooling signature of a CGN.\n";
+
+  bench::write_bench_json(
+      "fig03_leak_graphs",
+      {{"isolated_as", static_cast<double>(isolated_as)},
+       {"isolated_leakers", static_cast<double>(best_isolated)},
+       {"clustered_as", static_cast<double>(clustered_as)},
+       {"largest_cluster", static_cast<double>(best_cluster)}});
   return 0;
 }

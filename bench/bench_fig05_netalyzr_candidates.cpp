@@ -42,5 +42,10 @@ int main() {
             << ") [paper: ~15% of covered ASes]\n"
             << "Shape: 192X is sparsely used by CGNs; candidate ASes with\n"
                "high /24 diversity cluster in 10X/100X above the cutoff.\n";
+
+  bench::write_bench_json(
+      "fig05_netalyzr_candidates",
+      {{"noncellular_ases_covered", static_cast<double>(covered)},
+       {"cgn_positive", static_cast<double>(positive)}});
   return 0;
 }

@@ -39,5 +39,20 @@ int main() {
   std::cout << "\n(c) % cellular ASes CGN-positive (paper: ~100% except "
                "AFRINIC at ~2/3)\n";
   report::bar_chart(std::cout, labels, cellular, 40, "%");
+
+  double eyeball_total = 0, eyeball_covered = 0, eyeball_positive = 0,
+         cellular_cgn_positive = 0;
+  for (int r = 0; r < netcore::kRirCount; ++r) {
+    auto i = static_cast<std::size_t>(r);
+    eyeball_total += static_cast<double>(reg.eyeball_total[i]);
+    eyeball_covered += static_cast<double>(reg.eyeball_covered[i]);
+    eyeball_positive += static_cast<double>(reg.eyeball_positive[i]);
+    cellular_cgn_positive += static_cast<double>(reg.cellular_positive[i]);
+  }
+  bench::write_bench_json("fig06_regions",
+                          {{"eyeball_ases", eyeball_total},
+                           {"eyeball_covered", eyeball_covered},
+                           {"eyeball_cgn_positive", eyeball_positive},
+                           {"cellular_cgn_positive", cellular_cgn_positive}});
   return 0;
 }

@@ -98,5 +98,14 @@ int main() {
                "ISPs — TELUS, Sprint, Rogers, T-Mobile, H3G in the paper —\n"
                "use nominally-public blocks (1/8, 21/8, 22/8, 25/8, ...)\n"
                "internally, some of which other networks actually route.\n";
+
+  std::size_t routable_ases = 0;
+  for (const auto& [asn, a] : per_as) routable_ases += a.routable ? 1 : 0;
+  bench::write_bench_json(
+      "fig07_internal_space",
+      {{"cgn_ases_with_observations", static_cast<double>(per_as.size())},
+       {"cellular_ases", cell_n},
+       {"noncellular_ases", fixed_n},
+       {"routable_internal_ases", static_cast<double>(routable_ases)}});
   return 0;
 }

@@ -110,5 +110,16 @@ int main() {
     std::cout << "\n  (no chunk-allocating AS detected at this scale; "
                  "increase CGN_BENCH_SCALE)\n";
   }
+
+  bench::write_bench_json(
+      "fig08_port_allocation",
+      {{"preserved_flow_sessions",
+        static_cast<double>(ports.ports_preserved_sessions.size())},
+       {"translated_flow_sessions",
+        static_cast<double>(ports.ports_translated_sessions.size())},
+       {"cpe_sessions", static_cast<double>(total_sessions)},
+       {"cpe_port_preserving", static_cast<double>(total_preserving)},
+       {"chunk_size_estimate",
+        chunked ? static_cast<double>(chunked->chunk_size_estimate) : 0.0}});
   return 0;
 }

@@ -55,5 +55,16 @@ int main() {
                "cellular CGN ASes show one pure strategy; the rest are\n"
                "mixed (distributed CGN deployments and load-dependent\n"
                "behaviour).\n";
+
+  std::size_t profiled_ases = 0, pure_ases = 0;
+  for (const auto& [asn, p] : ports.per_as) {
+    if (p.sessions < 3) continue;
+    ++profiled_ases;
+    pure_ases += p.pure() ? 1 : 0;
+  }
+  bench::write_bench_json(
+      "fig09_strategy_mix",
+      {{"profiled_ases", static_cast<double>(profiled_ases)},
+       {"pure_strategy_ases", static_cast<double>(pure_ases)}});
   return 0;
 }

@@ -44,5 +44,20 @@ int main() {
                "sit at hop 1 (the CPE); non-cellular CGNs mostly sit 2-6\n"
                "hops out; cellular CGNs range 1-12 hops with ~10% of ASes\n"
                "at >=6 hops (centralized aggregation).\n";
+
+  auto class_ases = [&](analysis::VantageClass c) {
+    auto it = result.fig11.find(c);
+    return it == result.fig11.end()
+               ? 0.0
+               : static_cast<double>(it->second.total_ases);
+  };
+  bench::write_bench_json(
+      "fig11_nat_distance",
+      {{"noncellular_no_cgn_ases",
+        class_ases(analysis::VantageClass::noncellular_no_cgn)},
+       {"noncellular_cgn_ases",
+        class_ases(analysis::VantageClass::noncellular_cgn)},
+       {"cellular_cgn_ases",
+        class_ases(analysis::VantageClass::cellular_cgn)}});
   return 0;
 }

@@ -47,5 +47,12 @@ int main() {
                "CGNs median ~35 s with higher variability; CPEs\n"
                "predominantly 65 s. Values range 10-200 s, measured at\n"
                "10 s granularity, capped at 200 s by the test budget.\n";
+
+  bench::write_bench_json(
+      "fig12_timeouts",
+      {{"cgn_ases_measured", static_cast<double>(cgns.size())},
+       {"cgn_fast_timeout_ases", static_cast<double>(fast)},
+       {"cpe_sessions",
+        static_cast<double>(result.fig12.cpe_per_session.size())}});
   return 0;
 }

@@ -60,5 +60,11 @@ int main() {
                "permissive session; cellular CGNs are bimodal (~40%\n"
                "symmetric, ~20% full cone) — CGNs are markedly more\n"
                "restrictive than home NATs.\n";
+
+  bench::write_bench_json(
+      "fig13_stun_types",
+      {{"stun_sessions", static_cast<double>(result.sessions_used)},
+       {"ases", static_cast<double>(result.ases)},
+       {"cgn_ases", static_cast<double>(result.cgn_ases)}});
   return 0;
 }

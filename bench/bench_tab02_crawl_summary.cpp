@@ -36,5 +36,14 @@ int main() {
                "Shape: learned >> queried; learned AS footprint > queried "
                "AS footprint;\n       roughly half the learned peers "
                "respond.\n";
+
+  bench::write_bench_json(
+      "tab02_crawl_summary",
+      {{"queried_peers", static_cast<double>(s.queried_peers)},
+       {"queried_unique_ips", static_cast<double>(s.queried_unique_ips)},
+       {"learned_peers", static_cast<double>(s.learned_peers)},
+       {"learned_unique_ips", static_cast<double>(s.learned_unique_ips)},
+       {"learned_ases", static_cast<double>(s.learned_ases)},
+       {"responding_peers", static_cast<double>(s.responding_peers)}});
   return 0;
 }

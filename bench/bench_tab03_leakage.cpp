@@ -30,5 +30,16 @@ int main() {
                "Shape: 10X and 100X dominate the internal-peer counts (CGN\n"
                "ranges); 192X leaks spread over the most ASes (home NATs\n"
                "everywhere) while 100X concentrates in the fewest.\n";
+
+  double internal_total = 0, leaking_total = 0, leaking_as_rels = 0;
+  for (const auto& row : bt.per_range) {
+    internal_total += static_cast<double>(row.internal_total);
+    leaking_total += static_cast<double>(row.leaking_total);
+    leaking_as_rels += static_cast<double>(row.leaking_ases);
+  }
+  bench::write_bench_json("tab03_leakage",
+                          {{"internal_total", internal_total},
+                           {"leaking_total", leaking_total},
+                           {"leaking_as_relationships", leaking_as_rels}});
   return 0;
 }

@@ -60,5 +60,14 @@ int main() {
                "used-\ninternally space); non-cellular devices sit almost\n"
                "entirely in 192X; 83% of CPE externals are routed matches\n"
                "(single home NAT), the rest betray layered translation.\n";
+
+  bench::write_bench_json(
+      "tab04_addresses",
+      {{"cellular_dev_sessions", static_cast<double>(t.cellular_dev.n)},
+       {"noncellular_dev_sessions", static_cast<double>(t.noncellular_dev.n)},
+       {"noncellular_cpe_sessions", static_cast<double>(t.noncellular_cpe.n)},
+       {"cellular_ases_covered", static_cast<double>(covered)},
+       {"cellular_internal_only", static_cast<double>(internal_only)},
+       {"cellular_mixed", static_cast<double>(mixed)}});
   return 0;
 }

@@ -95,5 +95,13 @@ int main() {
                                      static_cast<double>(paired + arbitrary)
                                : 0)
             << ") [paper: 21% of CGN ASes use arbitrary pooling]\n";
+
+  bench::write_bench_json(
+      "tab06_port_strategies",
+      {{"noncellular_ases", static_cast<double>(n_fixed)},
+       {"cellular_ases", static_cast<double>(n_cell)},
+       {"chunked_ases", static_cast<double>(le1k + le4k + le16k)},
+       {"paired_pooling_ases", static_cast<double>(paired)},
+       {"arbitrary_pooling_ases", static_cast<double>(arbitrary)}});
   return 0;
 }

@@ -36,5 +36,14 @@ int main() {
                "mapping; the no-detection cell is NATs with timeouts beyond\n"
                "the 200 s probing budget; stateful middleboxes without\n"
                "translation are rare (<1%).\n";
+
+  bench::write_bench_json(
+      "tab07_ttl_detection",
+      {{"enum_sessions", static_cast<double>(result.enum_sessions_used)},
+       {"enum_ases", static_cast<double>(result.enum_ases)},
+       {"mismatch_detected", static_cast<double>(t.mismatch_detected)},
+       {"mismatch_undetected", static_cast<double>(t.mismatch_undetected)},
+       {"match_detected", static_cast<double>(t.match_detected)},
+       {"match_undetected", static_cast<double>(t.match_undetected)}});
   return 0;
 }

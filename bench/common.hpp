@@ -8,13 +8,18 @@
 #pragma once
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "analysis/bt_detector.hpp"
 #include "analysis/coverage.hpp"
 #include "analysis/netalyzr_detector.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "report/report.hpp"
 #include "scenario/campaign.hpp"
 #include "scenario/internet.hpp"
@@ -123,6 +128,48 @@ inline void print_header(const std::string& experiment,
             << "    (scale=" << env_double("CGN_BENCH_SCALE", 0.4)
             << ", seed=" << env_u64("CGN_BENCH_SEED", 42)
             << "; paper values in [brackets]; expect shape, not absolutes)\n\n";
+}
+
+/// Headline numbers a bench reproduced, in insertion order.
+using Figures = std::vector<std::pair<std::string, double>>;
+
+/// Ends a bench run: writes `BENCH_<name>.json` — the machine-readable run
+/// record holding the reproduced figures, the per-phase wall-clock timings
+/// and the full simulation metrics snapshot — and prints the phase table.
+/// CGN_BENCH_JSON_DIR redirects the output file (default: cwd);
+/// CGN_OBS_DASHBOARD=1 additionally prints the metrics dashboard. The JSON
+/// schema is documented in README.md ("Observability").
+inline void write_bench_json(const std::string& name, const Figures& figures) {
+  const char* dir = std::getenv("CGN_BENCH_JSON_DIR");
+  const std::string path =
+      (dir && *dir ? std::string(dir) + "/" : std::string()) + "BENCH_" +
+      name + ".json";
+  std::ofstream os(path);
+  os.precision(12);  // keep large counts out of scientific notation
+  os << "{\"bench\":";
+  obs::json_escape(os, name);
+  os << ",\"scale\":" << env_double("CGN_BENCH_SCALE", 0.4)
+     << ",\"seed\":" << env_u64("CGN_BENCH_SEED", 42) << ",\"figures\":{";
+  bool first = true;
+  for (const auto& [key, value] : figures) {
+    if (!first) os << ',';
+    first = false;
+    obs::json_escape(os, key);
+    os << ':' << value;
+  }
+  os << "},\"obs\":";
+  obs::export_json(os);  // {"metrics":{...},"phases":[...]}
+  os << "}\n";
+
+  obs::PhaseProfiler::global().print(std::cout);
+  const char* dash = std::getenv("CGN_OBS_DASHBOARD");
+  if (dash && *dash && *dash != '0')
+    obs::MetricsRegistry::global().print_dashboard(std::cout);
+  if (os)
+    std::cout << "\nwrote " << path << "\n";
+  else
+    std::cerr << "\nfailed to write " << path
+              << " (is CGN_BENCH_JSON_DIR a writable directory?)\n";
 }
 
 }  // namespace cgn::bench

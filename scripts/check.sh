@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure + build + full ctest, then the same test suite
+# under ASan+UBSan (-DCGN_SANITIZE=ON) in a separate build tree.
+#
+# Usage: scripts/check.sh [--no-sanitize]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SANITIZE=1
+[[ "${1:-}" == "--no-sanitize" ]] && SANITIZE=0
+
+echo "== tier-1: configure + build + ctest (build/) =="
+cmake -B build -S . >/dev/null
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+if [[ "$SANITIZE" == 1 ]]; then
+  echo "== sanitizers: ASan+UBSan build + ctest (build-asan/) =="
+  cmake -B build-asan -S . -DCGN_SANITIZE=ON >/dev/null
+  cmake --build build-asan -j --target cgn_tests
+  ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
+fi
+
+echo "== check.sh: all green =="

@@ -1,6 +1,18 @@
 #include "crawler/dht_crawler.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace cgn::crawler {
+
+namespace {
+obs::Counter& g_find_nodes_sent = obs::counter("crawler.find_nodes_sent");
+obs::Counter& g_find_nodes_answered =
+    obs::counter("crawler.find_nodes_answered");
+obs::Counter& g_pings_sent = obs::counter("crawler.bt_pings_sent");
+obs::Counter& g_pongs_received = obs::counter("crawler.bt_pongs_received");
+obs::Counter& g_peers_with_leaks = obs::counter("crawler.peers_with_leaks");
+obs::Gauge& g_frontier_size = obs::gauge("crawler.frontier_size");
+}  // namespace
 
 DhtCrawler::DhtCrawler(sim::NodeId host, netcore::Endpoint local,
                        CrawlConfig config, sim::Rng rng)
@@ -50,9 +62,13 @@ std::optional<std::vector<dht::Contact>> DhtCrawler::query(
   sim::Packet pkt = sim::Packet::udp(local_, peer.endpoint);
   pkt.payload = dht::Message{dht::FindNodesMsg{tx, id_, target}};
   ++stats_.find_nodes_sent;
+  g_find_nodes_sent.inc();
   net.send(std::move(pkt), host_);
   awaiting_tx_ = 0;
-  if (reply_contacts_) ++stats_.find_nodes_answered;
+  if (reply_contacts_) {
+    ++stats_.find_nodes_answered;
+    g_find_nodes_answered.inc();
+  }
   return std::move(reply_contacts_);
 }
 
@@ -83,7 +99,10 @@ void DhtCrawler::process_peer(sim::Network& net, const dht::Contact& peer) {
     record_contacts(peer, *contacts, saw_internal);
   }
   if (responded) data_.note_queried(peer);
-  if (saw_internal) ++stats_.peers_with_leaks;
+  if (saw_internal) {
+    ++stats_.peers_with_leaks;
+    g_peers_with_leaks.inc();
+  }
   // Leak-triggered batches: keep asking while fresh internal peers arrive.
   int batches = 0;
   while (saw_internal && batches < config_.max_leak_batches) {
@@ -113,6 +132,7 @@ std::size_t DhtCrawler::crawl_step(sim::Network& net,
     process_peer(net, peer);
     ++processed;
   }
+  g_frontier_size.set(static_cast<std::int64_t>(frontier_.size()));
   return processed;
 }
 
@@ -132,9 +152,13 @@ std::size_t DhtCrawler::ping_step(sim::Network& net, std::size_t budget) {
     sim::Packet pkt = sim::Packet::udp(local_, peer.endpoint);
     pkt.payload = dht::Message{dht::PingMsg{tx, id_}};
     ++stats_.pings_sent;
+    g_pings_sent.inc();
     net.send(std::move(pkt), host_);
     awaiting_tx_ = 0;
-    if (pong_tx_) data_.note_ping_response(peer);
+    if (pong_tx_) {
+      g_pongs_received.inc();
+      data_.note_ping_response(peer);
+    }
     ++issued;
   }
   return issued;

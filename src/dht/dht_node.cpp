@@ -2,7 +2,16 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace cgn::dht {
+
+namespace {
+// Aggregate DHT message volume across every simulated peer.
+obs::Counter& g_messages_sent = obs::counter("dht.messages_sent");
+obs::Counter& g_messages_received = obs::counter("dht.messages_received");
+obs::Counter& g_contacts_validated = obs::counter("dht.contacts_validated");
+}  // namespace
 
 DhtNode::DhtNode(NodeId160 id, netcore::Endpoint local_endpoint,
                  sim::NodeId host, DhtNodeConfig config, sim::Rng rng)
@@ -13,6 +22,7 @@ void DhtNode::send_message(sim::Network& net, const netcore::Endpoint& dst,
                            Message msg) {
   sim::Packet pkt = sim::Packet::udp(local_, dst);
   pkt.payload = std::move(msg);
+  g_messages_sent.inc();
   net.send(std::move(pkt), host_);
 }
 
@@ -57,7 +67,10 @@ void DhtNode::add_candidate(const Contact& contact, sim::SimTime now) {
 
 void DhtNode::mark_validated(const Contact& contact, sim::SimTime now) {
   if (Entry* e = find_entry(contact)) {
-    if (!e->validated) ++stats_.contacts_validated;
+    if (!e->validated) {
+      ++stats_.contacts_validated;
+      g_contacts_validated.inc();
+    }
     e->validated = true;
     e->ping_inflight = false;
     e->last_seen = now;
@@ -66,6 +79,7 @@ void DhtNode::mark_validated(const Contact& contact, sim::SimTime now) {
     if (Entry* fresh = find_entry(contact)) {
       fresh->validated = true;
       ++stats_.contacts_validated;
+      g_contacts_validated.inc();
     }
   }
 }
@@ -90,6 +104,7 @@ std::vector<Contact> DhtNode::closest(const NodeId160& target, std::size_t k,
 void DhtNode::handle(sim::Network& net, const sim::Packet& pkt) {
   const Message* msg = std::any_cast<Message>(&pkt.payload);
   if (!msg) return;  // not a DHT packet
+  g_messages_received.inc();
   const sim::SimTime now = net.clock().now();
 
   if (const auto* ping = std::get_if<PingMsg>(msg)) {

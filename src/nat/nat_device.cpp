@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace cgn::nat {
 
 namespace {
@@ -12,6 +14,33 @@ std::size_t mix(std::size_t a, std::size_t b) noexcept {
 std::size_t hash_endpoint(const netcore::Endpoint& e) noexcept {
   return std::hash<netcore::Endpoint>{}(e);
 }
+
+// Global aggregates across every NAT device in the process (CPEs + CGNs);
+// handles resolved once so the translation path pays a relaxed add each.
+obs::Counter& g_mappings_created = obs::counter("nat.mappings_created");
+obs::Counter& g_mappings_expired = obs::counter("nat.mappings_expired");
+obs::Counter& g_outbound_translated = obs::counter("nat.outbound_translated");
+obs::Counter& g_inbound_translated = obs::counter("nat.inbound_translated");
+obs::Counter& g_inbound_filtered = obs::counter("nat.inbound_filtered");
+obs::Counter& g_inbound_no_mapping = obs::counter("nat.inbound_no_mapping");
+obs::Counter& g_hairpins_forwarded = obs::counter("nat.hairpins_forwarded");
+obs::Counter& g_hairpins_dropped = obs::counter("nat.hairpins_dropped");
+obs::Counter& g_port_exhaustion = obs::counter("nat.port_exhaustion_drops");
+obs::Gauge& g_active_mappings = obs::gauge("nat.active_mappings");
+obs::Gauge& g_ports_in_use = obs::gauge("nat.ports_in_use");
+obs::Gauge& g_port_capacity = obs::gauge("nat.port_capacity");
+
+// Derived port-pool pressure, sampled at export time.
+[[maybe_unused]] const bool g_probe_registered = [] {
+  obs::MetricsRegistry::global().register_probe(
+      "nat.port_pool_utilization", [] {
+        auto capacity = g_port_capacity.value();
+        return capacity == 0 ? 0.0
+                             : static_cast<double>(g_ports_in_use.value()) /
+                                   static_cast<double>(capacity);
+      });
+  return true;
+}();
 }  // namespace
 
 std::string_view to_string(MappingType t) noexcept {
@@ -71,6 +100,22 @@ NatDevice::NatDevice(NatConfig config,
   used_ports_tcp_.resize(pool_.size());
   seq_cursor_.assign(pool_.size(), config_.port_min);
   chunks_taken_.resize(pool_.size());
+  const std::int64_t ports_per_proto =
+      static_cast<std::int64_t>(config_.port_max) - config_.port_min + 1;
+  g_port_capacity.add(static_cast<std::int64_t>(pool_.size()) *
+                      ports_per_proto * 2);
+}
+
+NatDevice::~NatDevice() {
+  std::int64_t ports = 0;
+  for (const auto& used : used_ports_udp_) ports += used.size();
+  for (const auto& used : used_ports_tcp_) ports += used.size();
+  g_ports_in_use.sub(ports);
+  g_active_mappings.sub(static_cast<std::int64_t>(mappings_.size()));
+  const std::int64_t ports_per_proto =
+      static_cast<std::int64_t>(config_.port_max) - config_.port_min + 1;
+  g_port_capacity.sub(static_cast<std::int64_t>(pool_.size()) *
+                      ports_per_proto * 2);
 }
 
 bool NatDevice::owns_external(netcore::Ipv4Address a) const {
@@ -118,8 +163,9 @@ void NatDevice::erase_mapping(const OutKey& key) {
     auto& used = key.proto == netcore::Protocol::udp
                      ? used_ports_udp_[pool_it->second]
                      : used_ports_tcp_[pool_it->second];
-    used.erase(m.external.port);
+    g_ports_in_use.sub(static_cast<std::int64_t>(used.erase(m.external.port)));
   }
+  g_active_mappings.sub(1);
   mappings_.erase(it);
 }
 
@@ -128,6 +174,7 @@ NatDevice::Mapping* NatDevice::find_out(const OutKey& key, sim::SimTime now) {
   if (it == mappings_.end()) return nullptr;
   if (expired(it->second, now)) {
     ++stats_.mappings_expired;
+    g_mappings_expired.inc();
     erase_mapping(key);
     return nullptr;
   }
@@ -146,6 +193,7 @@ NatDevice::Mapping* NatDevice::find_in(netcore::Protocol proto,
   }
   if (expired(map_it->second, now)) {
     ++stats_.mappings_expired;
+    g_mappings_expired.inc();
     erase_mapping(map_it->first);
     return nullptr;
   }
@@ -244,6 +292,7 @@ NatDevice::Mapping* NatDevice::create_mapping(const OutKey& key,
                                      1);
       if (first_chunk > last_chunk) {
         ++stats_.port_exhaustion_drops;
+    g_port_exhaustion.inc();
         return nullptr;
       }
       // Try pool members (starting with the paired choice) for a free chunk.
@@ -270,6 +319,7 @@ NatDevice::Mapping* NatDevice::create_mapping(const OutKey& key,
       }
       if (it == subscriber_chunks_.end()) {
         ++stats_.port_exhaustion_drops;
+    g_port_exhaustion.inc();
         return nullptr;
       }
     } else {
@@ -290,6 +340,7 @@ NatDevice::Mapping* NatDevice::create_mapping(const OutKey& key,
 
   if (!port) {
     ++stats_.port_exhaustion_drops;
+    g_port_exhaustion.inc();
     return nullptr;
   }
 
@@ -305,6 +356,9 @@ NatDevice::Mapping* NatDevice::create_mapping(const OutKey& key,
   auto [it, inserted] = mappings_.emplace(key, std::move(m));
   by_external_.emplace(InKey{key.proto, it->second.external}, key);
   ++stats_.mappings_created;
+  g_mappings_created.inc();
+  g_active_mappings.add(1);
+  g_ports_in_use.add(1);
   if (on_created_)
     on_created_(key.proto, key.internal, it->second.external, now);
   return &it->second;
@@ -345,6 +399,7 @@ sim::Middlebox::Verdict NatDevice::process_outbound(sim::Packet& pkt,
   track_tcp(*m, pkt, /*inbound=*/false);
   pkt.src = m->external;
   ++stats_.outbound_translated;
+  g_outbound_translated.inc();
   return Verdict::forward;
 }
 
@@ -353,16 +408,19 @@ sim::Middlebox::Verdict NatDevice::process_inbound(sim::Packet& pkt,
   Mapping* m = find_in(pkt.proto, pkt.dst, now);
   if (!m) {
     ++stats_.inbound_no_mapping;
+    g_inbound_no_mapping.inc();
     return Verdict::drop_no_mapping;
   }
   if (!passes_filter(*m, pkt.src)) {
     ++stats_.inbound_filtered;
+    g_inbound_filtered.inc();
     return Verdict::drop_filtered;
   }
   if (config_.refresh_on_inbound) m->last_refresh = now;
   track_tcp(*m, pkt, /*inbound=*/true);
   pkt.dst = m->key.internal;
   ++stats_.inbound_translated;
+  g_inbound_translated.inc();
   return Verdict::forward;
 }
 
@@ -370,6 +428,7 @@ sim::Middlebox::Verdict NatDevice::process_hairpin(sim::Packet& pkt,
                                                    sim::SimTime now) {
   if (!config_.hairpinning) {
     ++stats_.hairpins_dropped;
+    g_hairpins_dropped.inc();
     return Verdict::drop_other;
   }
   if (!config_.hairpin_preserve_source) {
@@ -378,15 +437,18 @@ sim::Middlebox::Verdict NatDevice::process_hairpin(sim::Packet& pkt,
     auto v = process_outbound(pkt, now);
     if (v != Verdict::forward) {
       ++stats_.hairpins_dropped;
+    g_hairpins_dropped.inc();
       return v;
     }
   }
   auto v = process_inbound(pkt, now);
   if (v != Verdict::forward) {
     ++stats_.hairpins_dropped;
+    g_hairpins_dropped.inc();
     return v;
   }
   ++stats_.hairpins_forwarded;
+  g_hairpins_forwarded.inc();
   return Verdict::forward;
 }
 
@@ -412,6 +474,7 @@ void NatDevice::collect_garbage(sim::SimTime now) {
   for (const auto& [key, m] : mappings_)
     if (expired(m, now)) dead.push_back(key);
   stats_.mappings_expired += dead.size();
+  g_mappings_expired.inc(dead.size());
   for (const auto& key : dead) erase_mapping(key);
 }
 
@@ -445,6 +508,7 @@ bool NatDevice::renumber_external(netcore::Ipv4Address old_address,
     if (m.external.address == old_address) dead.push_back(key);
   for (const auto& key : dead) erase_mapping(key);
   stats_.mappings_expired += dead.size();
+  g_mappings_expired.inc(dead.size());
 
   pool_[idx] = new_address;
   pool_index_.erase(it);

@@ -40,6 +40,12 @@ class NatDevice final : public sim::Middlebox {
   /// inverted, or chunk_random is configured with chunk_size == 0.
   NatDevice(NatConfig config, std::vector<netcore::Ipv4Address> external_pool,
             sim::Rng rng);
+  /// Rolls the device's live state out of the global obs gauges
+  /// (nat.active_mappings, nat.ports_in_use, nat.port_capacity).
+  ~NatDevice() override;
+
+  NatDevice(const NatDevice&) = delete;
+  NatDevice& operator=(const NatDevice&) = delete;
 
   // --- sim::Middlebox interface -------------------------------------------
   Verdict process_outbound(sim::Packet& pkt, sim::SimTime now) override;

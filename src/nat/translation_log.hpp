@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "netcore/ipv4.hpp"
@@ -31,18 +32,22 @@ struct TranslationRecord {
 class TranslationLog {
  public:
   void on_created(const TranslationRecord& record) {
+    // Index the open record by its identity so expiry is O(1) instead of a
+    // reverse scan over the (unbounded, append-only) record vector. A NAT
+    // never has two live mappings on the same external endpoint, so at most
+    // one open record per key exists; insert_or_assign covers the edge of a
+    // record whose expiry we never saw (its NAT was destroyed mid-life).
+    open_.insert_or_assign(
+        OpenKey{record.proto, record.external, record.created_at},
+        records_.size());
     records_.push_back(record);
   }
   void on_expired(netcore::Protocol proto, const netcore::Endpoint& external,
                   sim::SimTime created_at, sim::SimTime now) {
-    // Close the matching open record (scan from the back: recent first).
-    for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
-      if (it->proto == proto && it->external == external &&
-          it->created_at == created_at && !it->expired_at) {
-        it->expired_at = now;
-        return;
-      }
-    }
+    auto it = open_.find(OpenKey{proto, external, created_at});
+    if (it == open_.end()) return;
+    records_[it->second].expired_at = now;
+    open_.erase(it);
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
@@ -78,7 +83,23 @@ class TranslationLog {
   }
 
  private:
+  struct OpenKey {
+    netcore::Protocol proto;
+    netcore::Endpoint external;
+    sim::SimTime created_at;
+    bool operator==(const OpenKey&) const = default;
+  };
+  struct OpenKeyHash {
+    std::size_t operator()(const OpenKey& k) const noexcept {
+      std::size_t h = std::hash<netcore::Endpoint>{}(k.external);
+      h ^= std::hash<sim::SimTime>{}(k.created_at) + 0x9e3779b97f4a7c15ull +
+           (h << 6) + (h >> 2);
+      return h ^ static_cast<std::size_t>(k.proto);
+    }
+  };
+
   std::vector<TranslationRecord> records_;
+  std::unordered_map<OpenKey, std::size_t, OpenKeyHash> open_;
 };
 
 }  // namespace cgn::nat

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace cgn::netalyzr {
 
 namespace {
@@ -10,6 +12,12 @@ namespace {
 // well-known band.
 constexpr std::uint16_t kEphemeralLo = 32768;
 constexpr std::uint16_t kEphemeralHi = 60999;
+
+// Session volume and test mix across the whole campaign.
+obs::Counter& g_sessions = obs::counter("netalyzr.sessions");
+obs::Counter& g_stun_tests = obs::counter("netalyzr.stun_tests");
+obs::Counter& g_enum_tests = obs::counter("netalyzr.enum_tests");
+obs::Counter& g_enum_experiments = obs::counter("netalyzr.enum_experiments");
 }  // namespace
 
 NetalyzrClient::NetalyzrClient(ClientContext context, sim::PortDemux& demux,
@@ -57,6 +65,7 @@ void NetalyzrClient::handle(sim::Network&, const sim::Packet& pkt) {
 
 SessionResult NetalyzrClient::run_basic(sim::Network& net,
                                         NetalyzrServer& server) {
+  g_sessions.inc();
   SessionResult result;
   result.asn = ctx_.asn;
   result.cellular = ctx_.cellular;
@@ -87,6 +96,7 @@ SessionResult NetalyzrClient::run_basic(sim::Network& net,
 void NetalyzrClient::run_stun(sim::Network& net,
                               const stun::StunServer& server,
                               SessionResult& result) {
+  g_stun_tests.inc();
   std::uint16_t port = next_ephemeral_port();
   stun::StunClient client(ctx_.host, {ctx_.device_address, port}, *demux_);
   result.stun = client.classify(net, server);
@@ -95,6 +105,7 @@ void NetalyzrClient::run_stun(sim::Network& net,
 std::optional<bool> NetalyzrClient::reachability_experiment(
     sim::Network& net, sim::Clock& clock, NetalyzrServer& server,
     int path_hops, int hop, double tidle, double keepalive_interval) {
+  g_enum_experiments.inc();
   const std::uint64_t flow = rng_.uniform(1, ~std::uint64_t{0} - 1);
   const std::uint16_t port = next_ephemeral_port();
   bind(port);
@@ -134,6 +145,7 @@ void NetalyzrClient::run_enumeration(sim::Network& net, sim::Clock& clock,
                                      NetalyzrServer& server,
                                      const TtlEnumConfig& config,
                                      SessionResult& result) {
+  g_enum_tests.inc();
   TtlEnumResult out;
 
   // Path length discovery: the shortest TTL whose init gets acknowledged has

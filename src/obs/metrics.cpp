@@ -1,0 +1,220 @@
+#include "obs/metrics.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "obs/profiler.hpp"
+#include "report/report.hpp"
+
+namespace cgn::obs {
+
+namespace {
+
+// JSON-safe number: histograms sum doubles, probes return doubles.
+void json_number(std::ostream& os, double v) {
+  if (v == static_cast<double>(static_cast<std::int64_t>(v))) {
+    os << static_cast<std::int64_t>(v);
+  } else {
+    std::ostringstream tmp;
+    tmp.precision(12);
+    tmp << v;
+    os << tmp.str();
+  }
+}
+
+}  // namespace
+
+void json_escape(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  small_lut_.resize(65);
+  for (std::uint32_t v = 0; v < small_lut_.size(); ++v)
+    small_lut_[v] = static_cast<std::uint16_t>(
+        std::lower_bound(bounds_.begin(), bounds_.end(),
+                         static_cast<double>(v)) -
+        bounds_.begin());
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  isum_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry instance;
+  return instance;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds) {
+  std::lock_guard lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  return *it->second;
+}
+
+void MetricsRegistry::register_probe(const std::string& name, Probe probe) {
+  std::lock_guard lock(mu_);
+  probes_[name] = std::move(probe);
+}
+
+void MetricsRegistry::unregister_probe(const std::string& name) {
+  std::lock_guard lock(mu_);
+  probes_.erase(name);
+}
+
+void MetricsRegistry::reset_values() {
+  std::lock_guard lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::size_t MetricsRegistry::metric_count() const {
+  std::lock_guard lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size() +
+         probes_.size();
+}
+
+void MetricsRegistry::export_json(std::ostream& os) const {
+  std::lock_guard lock(mu_);
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ',';
+    first = false;
+    json_escape(os, name);
+    os << ':' << c->value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) os << ',';
+    first = false;
+    json_escape(os, name);
+    os << ':' << g->value();
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << ',';
+    first = false;
+    json_escape(os, name);
+    os << ":{\"bounds\":[";
+    const auto& bounds = h->bounds();
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      if (i) os << ',';
+      json_number(os, bounds[i]);
+    }
+    os << "],\"buckets\":[";
+    const auto counts = h->bucket_counts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (i) os << ',';
+      os << counts[i];
+    }
+    os << "],\"count\":" << h->count() << ",\"sum\":";
+    json_number(os, h->sum());
+    os << '}';
+  }
+  os << "},\"probes\":{";
+  first = true;
+  for (const auto& [name, probe] : probes_) {
+    if (!first) os << ',';
+    first = false;
+    json_escape(os, name);
+    os << ':';
+    json_number(os, probe());
+  }
+  os << "}}";
+}
+
+void MetricsRegistry::print_dashboard(std::ostream& os) const {
+  std::lock_guard lock(mu_);
+  report::Table scalars({"metric", "kind", "value"});
+  for (const auto& [name, c] : counters_)
+    scalars.add_row({name, "counter", report::count(c->value())});
+  for (const auto& [name, g] : gauges_)
+    scalars.add_row({name, "gauge", std::to_string(g->value())});
+  for (const auto& [name, probe] : probes_)
+    scalars.add_row({name, "probe", report::num(probe(), 3)});
+  os << "-- metrics --\n";
+  scalars.print(os);
+  if (!histograms_.empty()) {
+    report::Table hist({"histogram", "count", "mean", "buckets (<=bound:n)"});
+    for (const auto& [name, h] : histograms_) {
+      std::ostringstream cells;
+      const auto& bounds = h->bounds();
+      const auto counts = h->bucket_counts();
+      for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (counts[i] == 0) continue;
+        if (cells.tellp() > 0) cells << ' ';
+        if (i < bounds.size())
+          cells << report::num(bounds[i], 0) << ':' << counts[i];
+        else
+          cells << "inf:" << counts[i];
+      }
+      hist.add_row({name, report::count(h->count()), report::num(h->mean(), 2),
+                    cells.str()});
+    }
+    hist.print(os);
+  }
+}
+
+void export_json(std::ostream& os) {
+  os << "{\"metrics\":";
+  MetricsRegistry::global().export_json(os);
+  os << ",\"phases\":";
+  PhaseProfiler::global().export_json(os);
+  os << "}";
+}
+
+}  // namespace cgn::obs

@@ -1,0 +1,93 @@
+#include "obs/profiler.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "report/report.hpp"
+
+namespace cgn::obs {
+
+PhaseProfiler& PhaseProfiler::global() {
+  static PhaseProfiler instance;
+  return instance;
+}
+
+void PhaseProfiler::begin(std::string_view name) {
+  std::lock_guard lock(mu_);
+  std::string path = stack_.empty()
+                         ? std::string(name)
+                         : stack_.back().path + "/" + std::string(name);
+  stack_.push_back({std::move(path), std::chrono::steady_clock::now()});
+}
+
+void PhaseProfiler::end() {
+  std::lock_guard lock(mu_);
+  if (stack_.empty())
+    throw std::logic_error("PhaseProfiler::end with no open phase");
+  Frame frame = std::move(stack_.back());
+  stack_.pop_back();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    frame.start)
+          .count();
+  auto [it, inserted] = index_.try_emplace(frame.path, phases_.size());
+  if (inserted) {
+    Phase p;
+    p.path = frame.path;
+    p.depth = static_cast<int>(stack_.size());
+    phases_.push_back(std::move(p));
+  }
+  Phase& p = phases_[it->second];
+  ++p.count;
+  p.wall_s += elapsed;
+}
+
+int PhaseProfiler::open_depth() const {
+  std::lock_guard lock(mu_);
+  return static_cast<int>(stack_.size());
+}
+
+std::vector<PhaseProfiler::Phase> PhaseProfiler::phases() const {
+  std::lock_guard lock(mu_);
+  return phases_;
+}
+
+void PhaseProfiler::reset() {
+  std::lock_guard lock(mu_);
+  phases_.clear();
+  index_.clear();
+}
+
+void PhaseProfiler::export_json(std::ostream& os) const {
+  std::lock_guard lock(mu_);
+  os << '[';
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    const Phase& p = phases_[i];
+    if (i) os << ',';
+    os << "{\"phase\":";
+    json_escape(os, p.path);
+    os << ",\"depth\":" << p.depth << ",\"count\":" << p.count
+       << ",\"wall_s\":" << p.wall_s << '}';
+  }
+  os << ']';
+}
+
+void PhaseProfiler::print(std::ostream& os) const {
+  std::lock_guard lock(mu_);
+  if (phases_.empty()) return;
+  report::Table table({"phase", "count", "wall (s)"});
+  for (const Phase& p : phases_) {
+    // Indent by depth; show only the leaf name, the nesting carries context.
+    auto slash = p.path.rfind('/');
+    std::string leaf =
+        slash == std::string::npos ? p.path : p.path.substr(slash + 1);
+    table.add_row({std::string(static_cast<std::size_t>(p.depth) * 2, ' ') +
+                       leaf,
+                   std::to_string(p.count), report::num(p.wall_s, 3)});
+  }
+  os << "-- phases --\n";
+  table.print(os);
+}
+
+}  // namespace cgn::obs

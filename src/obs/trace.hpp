@@ -1,0 +1,61 @@
+// Lightweight event-trace ring buffer for per-packet hop traces.
+//
+// The sim's delivery engine pushes one fixed-size event per hop when a ring
+// is attached (Network::set_hop_trace); with no ring attached the hot path
+// pays a single predictable null check. Events are raw integers — the
+// layer that owns the semantics (sim::Network) assigns the kind/code values
+// and formats them for humans — so obs stays a leaf with no upward
+// dependencies.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cgn::obs {
+
+struct TraceEvent {
+  std::uint32_t node = 0;   ///< sim node id
+  std::int16_t ttl = 0;     ///< packet TTL after the hop's decrement
+  std::uint8_t kind = 0;    ///< producer-defined event class
+  std::uint8_t code = 0;    ///< producer-defined detail (verdict, reason)
+  double time = 0.0;        ///< simulated time of the event
+};
+
+/// Fixed-capacity overwrite-oldest ring. Single-threaded, like the sim.
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity = 256)
+      : buffer_(capacity == 0 ? 1 : capacity) {}
+
+  void push(const TraceEvent& e) noexcept {
+    buffer_[head_] = e;
+    head_ = (head_ + 1) % buffer_.size();
+    if (size_ < buffer_.size()) ++size_;
+    ++total_;
+  }
+
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+    total_ = 0;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return buffer_.size();
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  /// Events ever pushed, including overwritten ones.
+  [[nodiscard]] std::uint64_t total_pushed() const noexcept { return total_; }
+
+  /// Retained events, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+ private:
+  std::vector<TraceEvent> buffer_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace cgn::obs

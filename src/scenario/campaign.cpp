@@ -2,10 +2,13 @@
 
 #include <algorithm>
 
+#include "obs/profiler.hpp"
+
 namespace cgn::scenario {
 
 void run_bittorrent_phase(Internet& internet,
                           const BitTorrentPhaseConfig& config) {
+  obs::ScopedPhase phase("campaign.bittorrent");
   sim::Rng rng = internet.fork_rng();
   const auto& peers = internet.bt_peers();
   if (peers.empty()) return;
@@ -30,11 +33,15 @@ void run_bittorrent_phase(Internet& internet,
   }
 
   // Bootstrap everyone into the DHT.
-  for (dht::DhtNode* peer : peers)
-    peer->bootstrap(internet.net, internet.servers.bootstrap_endpoint);
-  internet.clock.advance(config.round_interval_s);
+  {
+    obs::ScopedPhase bootstrap("bootstrap");
+    for (dht::DhtNode* peer : peers)
+      peer->bootstrap(internet.net, internet.servers.bootstrap_endpoint);
+    internet.clock.advance(config.round_interval_s);
+  }
 
   // Interleave tracker announces and DHT maintenance.
+  obs::ScopedPhase rounds("rounds");
   for (int round = 0; round < config.maintenance_rounds; ++round) {
     if (round < config.announce_rounds) {
       for (std::size_t i = 0; i < peers.size(); ++i)
@@ -49,19 +56,24 @@ void run_bittorrent_phase(Internet& internet,
 
 std::unique_ptr<crawler::DhtCrawler> run_crawl_phase(
     Internet& internet, const CrawlPhaseConfig& config) {
+  obs::ScopedPhase phase("campaign.crawl");
   auto crawler = std::make_unique<crawler::DhtCrawler>(
       internet.servers.crawler_host, internet.servers.crawler_endpoint,
       config.crawl, internet.fork_rng());
   crawler->install(internet.net);
   crawler->start(internet.net, internet.servers.bootstrap_endpoint);
 
-  std::size_t crawled = 0;
-  while (!crawler->frontier_empty() && crawled < config.max_peers) {
-    crawled += crawler->crawl_step(internet.net, config.peers_per_step);
-    if (config.step_interval_s > 0)
-      internet.clock.advance(config.step_interval_s);
+  {
+    obs::ScopedPhase walk("walk");
+    std::size_t crawled = 0;
+    while (!crawler->frontier_empty() && crawled < config.max_peers) {
+      crawled += crawler->crawl_step(internet.net, config.peers_per_step);
+      if (config.step_interval_s > 0)
+        internet.clock.advance(config.step_interval_s);
+    }
   }
   // bt_ping sweep over everything we learned (Table 2 responder counts).
+  obs::ScopedPhase sweep("ping_sweep");
   while (crawler->ping_step(internet.net, 10'000) > 0) {
   }
   return crawler;
@@ -69,6 +81,7 @@ std::unique_ptr<crawler::DhtCrawler> run_crawl_phase(
 
 std::vector<netalyzr::SessionResult> run_netalyzr_campaign(
     Internet& internet, const NetalyzrCampaignConfig& config) {
+  obs::ScopedPhase phase("campaign.netalyzr");
   sim::Rng rng = internet.fork_rng();
   std::vector<netalyzr::SessionResult> results;
 

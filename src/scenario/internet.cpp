@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/profiler.hpp"
+
 namespace cgn::scenario {
 
 namespace {
@@ -453,6 +455,7 @@ class InternetBuilder {
 };
 
 Internet::Internet(const InternetConfig& cfg) : config(cfg), rng_(cfg.seed) {
+  obs::ScopedPhase phase("build_internet");
   InternetBuilder(*this).build();
 }
 

@@ -1,9 +1,27 @@
 #include "sim/network.hpp"
 
 #include <algorithm>
+#include <ostream>
 #include <stdexcept>
 
 namespace cgn::sim {
+
+Network::ObsHandles Network::make_obs_handles() {
+  // Bucket per hop count up to the kMaxHops ceiling; paths in the synthetic
+  // Internet are short, so low buckets are exact.
+  static const std::vector<double> kHopBounds{1, 2,  3,  4,  5,  6,  8,
+                                              10, 12, 16, 20, 24, 32, 48};
+  return ObsHandles{
+      .sent = obs::counter("sim.net.sent"),
+      .delivered = obs::counter("sim.net.delivered"),
+      .dropped_ttl = obs::counter("sim.net.dropped.ttl_expired"),
+      .dropped_no_route = obs::counter("sim.net.dropped.no_route"),
+      .dropped_filtered = obs::counter("sim.net.dropped.filtered"),
+      .dropped_no_mapping = obs::counter("sim.net.dropped.no_mapping"),
+      .dropped_other = obs::counter("sim.net.dropped.other"),
+      .hops = obs::histogram("sim.net.hops", kHopBounds),
+  };
+}
 
 std::string_view to_string(DropReason r) noexcept {
   switch (r) {
@@ -129,13 +147,34 @@ DropReason Network::to_drop_reason(Middlebox::Verdict v) noexcept {
 
 DeliveryResult Network::finish(DeliveryResult r) {
   switch (r.reason) {
-    case DropReason::none: ++stats_.delivered; break;
-    case DropReason::ttl_expired: ++stats_.dropped_ttl; break;
-    case DropReason::no_route: ++stats_.dropped_no_route; break;
-    case DropReason::filtered: ++stats_.dropped_filtered; break;
-    case DropReason::no_mapping: ++stats_.dropped_no_mapping; break;
-    default: ++stats_.dropped_other; break;
+    case DropReason::none:
+      ++stats_.delivered;
+      obs_.delivered.inc();
+      obs_.hops.observe_small(static_cast<std::uint32_t>(r.hops));
+      break;
+    case DropReason::ttl_expired:
+      ++stats_.dropped_ttl;
+      obs_.dropped_ttl.inc();
+      break;
+    case DropReason::no_route:
+      ++stats_.dropped_no_route;
+      obs_.dropped_no_route.inc();
+      break;
+    case DropReason::filtered:
+      ++stats_.dropped_filtered;
+      obs_.dropped_filtered.inc();
+      break;
+    case DropReason::no_mapping:
+      ++stats_.dropped_no_mapping;
+      obs_.dropped_no_mapping.inc();
+      break;
+    default:
+      ++stats_.dropped_other;
+      obs_.dropped_other.inc();
+      break;
   }
+  trace_event(r.delivered ? TraceKind::delivered : TraceKind::dropped,
+              r.final_node, r.hops, static_cast<std::uint8_t>(r.reason));
   return r;
 }
 
@@ -149,6 +188,7 @@ DeliveryResult Network::deliver_at(NodeId node, Packet& pkt, int hops) {
 
 DeliveryResult Network::send(Packet pkt, NodeId from) {
   ++stats_.sent;
+  obs_.sent.inc();
   const SimTime now = clock_->now();
   int hops = 0;
   NodeId node = nodes_.at(from).parent;
@@ -159,6 +199,7 @@ DeliveryResult Network::send(Packet pkt, NodeId from) {
       return finish({.reason = DropReason::hop_limit, .final_node = node});
     Node& n = nodes_[node];
     pkt.ttl -= 1;
+    trace_event(TraceKind::hop, node, pkt.ttl, 0);
     if (owns_local(n, pkt.dst.address)) return deliver_at(node, pkt, hops);
     if (pkt.ttl <= 0)
       return finish({.reason = DropReason::ttl_expired,
@@ -169,6 +210,8 @@ DeliveryResult Network::send(Packet pkt, NodeId from) {
       return descend(it->second, pkt, hops);
     if (n.middlebox && n.middlebox->owns_external(pkt.dst.address)) {
       auto verdict = n.middlebox->process_hairpin(pkt, now);
+      trace_event(TraceKind::middlebox, node, pkt.ttl,
+                  static_cast<std::uint8_t>(verdict));
       if (verdict != Middlebox::Verdict::forward)
         return finish({.reason = to_drop_reason(verdict),
                        .hops = hops,
@@ -182,6 +225,8 @@ DeliveryResult Network::send(Packet pkt, NodeId from) {
     }
     if (n.middlebox) {
       auto verdict = n.middlebox->process_outbound(pkt, now);
+      trace_event(TraceKind::middlebox, node, pkt.ttl,
+                  static_cast<std::uint8_t>(verdict));
       if (verdict != Middlebox::Verdict::forward)
         return finish({.reason = to_drop_reason(verdict),
                        .hops = hops,
@@ -203,6 +248,7 @@ DeliveryResult Network::descend(NodeId node, Packet& pkt, int hops) {
       return finish({.reason = DropReason::hop_limit, .final_node = node});
     Node& n = nodes_[node];
     pkt.ttl -= 1;
+    trace_event(TraceKind::hop, node, pkt.ttl, 0);
     // A NAT whose external address the packet targets translates it inward —
     // but only if the packet still has TTL budget to be forwarded; a probe
     // that expires here dies without refreshing the NAT's mapping, which is
@@ -213,6 +259,8 @@ DeliveryResult Network::descend(NodeId node, Packet& pkt, int hops) {
                        .hops = hops,
                        .final_node = node});
       auto verdict = n.middlebox->process_inbound(pkt, now);
+      trace_event(TraceKind::middlebox, node, pkt.ttl,
+                  static_cast<std::uint8_t>(verdict));
       if (verdict != Middlebox::Verdict::forward)
         return finish({.reason = to_drop_reason(verdict),
                        .hops = hops,
@@ -229,6 +277,45 @@ DeliveryResult Network::descend(NodeId node, Packet& pkt, int hops) {
                      .hops = hops,
                      .final_node = node});
     node = it->second;
+  }
+}
+
+void Network::dump_trace(std::ostream& os, const obs::TraceRing& ring) const {
+  auto verdict_name = [](std::uint8_t code) -> std::string_view {
+    switch (static_cast<Middlebox::Verdict>(code)) {
+      case Middlebox::Verdict::forward: return "forward";
+      case Middlebox::Verdict::drop_filtered: return "drop_filtered";
+      case Middlebox::Verdict::drop_no_mapping: return "drop_no_mapping";
+      case Middlebox::Verdict::drop_other: return "drop_other";
+    }
+    return "?";
+  };
+  auto node_name = [this](std::uint32_t node) -> std::string_view {
+    return node < nodes_.size() ? std::string_view(nodes_[node].name)
+                                : std::string_view("<none>");
+  };
+  for (const obs::TraceEvent& e : ring.events()) {
+    os << "[t=" << e.time << "] ";
+    switch (static_cast<TraceKind>(e.kind)) {
+      case TraceKind::hop:
+        os << "hop       " << node_name(e.node) << " ttl=" << e.ttl;
+        break;
+      case TraceKind::middlebox:
+        os << "middlebox " << node_name(e.node) << " ttl=" << e.ttl << " -> "
+           << verdict_name(e.code);
+        break;
+      case TraceKind::delivered:
+        os << "delivered " << node_name(e.node) << " hops=" << e.ttl;
+        break;
+      case TraceKind::dropped:
+        os << "dropped   " << node_name(e.node) << " hops=" << e.ttl
+           << " reason=" << to_string(static_cast<DropReason>(e.code));
+        break;
+      default:
+        os << "event kind=" << int(e.kind) << " node=" << e.node;
+        break;
+    }
+    os << '\n';
   }
 }
 

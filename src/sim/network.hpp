@@ -13,12 +13,15 @@
 
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <limits>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "netcore/ipv4.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/clock.hpp"
 #include "sim/packet.hpp"
 
@@ -145,6 +148,25 @@ class Network {
 
   [[nodiscard]] const Clock& clock() const noexcept { return *clock_; }
 
+  /// Event classes pushed into an attached hop-trace ring. `code` carries
+  /// the Middlebox::Verdict for `middlebox` events and the DropReason for
+  /// `dropped` events; terminal events reuse the ttl field for hop count.
+  enum class TraceKind : std::uint8_t {
+    hop = 0,        ///< packet arrived at a node (ttl already decremented)
+    middlebox = 1,  ///< a middlebox processed the packet
+    delivered = 2,
+    dropped = 3,
+  };
+
+  /// Attaches a hop-trace ring: every subsequent delivery pushes one event
+  /// per hop plus middlebox verdicts and the terminal outcome. Off by
+  /// default (null ring); enable around a single send() to debug TTL or
+  /// hairpin paths. The ring is caller-owned and must outlive attachment.
+  void set_hop_trace(obs::TraceRing* ring) noexcept { trace_ = ring; }
+
+  /// Renders a captured ring with this network's node names.
+  void dump_trace(std::ostream& os, const obs::TraceRing& ring) const;
+
  private:
   struct Node {
     std::string name;
@@ -157,15 +179,38 @@ class Network {
 
   static constexpr int kMaxHops = 64;
 
+  /// Stable handles into the global metrics registry, resolved once per
+  /// Network; the delivery path pays one relaxed add per event.
+  struct ObsHandles {
+    obs::Counter& sent;
+    obs::Counter& delivered;
+    obs::Counter& dropped_ttl;
+    obs::Counter& dropped_no_route;
+    obs::Counter& dropped_filtered;
+    obs::Counter& dropped_no_mapping;
+    obs::Counter& dropped_other;
+    obs::Histogram& hops;
+  };
+  static ObsHandles make_obs_handles();
+
   [[nodiscard]] bool owns_local(const Node& n, netcore::Ipv4Address a) const;
   DeliveryResult deliver_at(NodeId node, Packet& pkt, int hops);
   DeliveryResult descend(NodeId node, Packet& pkt, int hops);
   DeliveryResult finish(DeliveryResult r);
   static DropReason to_drop_reason(Middlebox::Verdict v) noexcept;
 
+  void trace_event(TraceKind kind, NodeId node, int ttl,
+                   std::uint8_t code) const {
+    if (trace_)
+      trace_->push({node, static_cast<std::int16_t>(ttl),
+                    static_cast<std::uint8_t>(kind), code, clock_->now()});
+  }
+
   Clock* clock_;
   std::vector<Node> nodes_;
   NetworkStats stats_;
+  ObsHandles obs_ = make_obs_handles();
+  obs::TraceRing* trace_ = nullptr;
 };
 
 }  // namespace cgn::sim

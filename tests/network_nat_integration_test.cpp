@@ -3,6 +3,10 @@
 // with middleboxes — the behaviours the measurement methods depend on.
 #include <gtest/gtest.h>
 
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "test_topology.hpp"
 
 namespace cgn::test {
@@ -234,6 +238,105 @@ TEST(NetworkNat, CgnPortExhaustionSurfacesAsDrop) {
   EXPECT_EQ(delivered, 4);
   EXPECT_EQ(dropped, 6);
   EXPECT_EQ(line.cgn->stats().port_exhaustion_drops, 6u);
+}
+
+TEST(NetworkNat, HopTraceRecordsNat444Path) {
+  MiniNet mini;
+  LineConfig lc;
+  lc.with_cpe = true;
+  lc.with_cgn = true;
+  lc.cpe.name = "cpe";
+  lc.cgn.name = "cgn";
+  auto line = mini.add_line(lc);
+
+  obs::TraceRing ring(64);
+  mini.net.set_hop_trace(&ring);
+  auto r = mini.net.send(
+      Packet::udp({line.device_address, 5000}, {mini.server_address, 80}),
+      line.device);
+  ASSERT_TRUE(r.delivered);
+
+  // One hop event per traversed node, two middlebox verdicts (CPE + CGN),
+  // one terminal delivered event.
+  auto events = ring.events();
+  int hop_events = 0, mb_events = 0, delivered_events = 0;
+  for (const auto& e : events) {
+    switch (static_cast<sim::Network::TraceKind>(e.kind)) {
+      case sim::Network::TraceKind::hop: ++hop_events; break;
+      case sim::Network::TraceKind::middlebox: ++mb_events; break;
+      case sim::Network::TraceKind::delivered: ++delivered_events; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(hop_events, r.hops);
+  EXPECT_EQ(mb_events, 2);
+  EXPECT_EQ(delivered_events, 1);
+
+  std::ostringstream os;
+  mini.net.dump_trace(os, ring);
+  EXPECT_NE(os.str().find("middlebox cpe"), std::string::npos) << os.str();
+  EXPECT_NE(os.str().find("middlebox cgn"), std::string::npos) << os.str();
+  EXPECT_NE(os.str().find("delivered"), std::string::npos) << os.str();
+
+  // Detaching must stop recording (and the null check must not crash).
+  mini.net.set_hop_trace(nullptr);
+  ring.clear();
+  (void)mini.net.send(
+      Packet::udp({line.device_address, 5001}, {mini.server_address, 80}),
+      line.device);
+  EXPECT_EQ(ring.total_pushed(), 0u);
+}
+
+TEST(NetworkNat, ObsCountersTrackNetworkStats) {
+  if (!obs::kMetricsEnabled)
+    GTEST_SKIP() << "metrics compiled out (-DCGN_OBS=OFF)";
+  // The global obs counters are shared across every Network in the process,
+  // so compare *deltas* over a traffic mix whose per-Network outcome is
+  // known from stats().
+  struct Snapshot {
+    std::uint64_t sent, delivered, no_mapping, ttl;
+    static Snapshot take() {
+      return {obs::counter("sim.net.sent").value(),
+              obs::counter("sim.net.delivered").value(),
+              obs::counter("sim.net.dropped.no_mapping").value(),
+              obs::counter("sim.net.dropped.ttl_expired").value()};
+    }
+  };
+  MiniNet mini;
+  LineConfig lc;
+  lc.with_cpe = true;
+  lc.cpe.name = "cpe";
+  lc.cpe.udp_timeout_s = 30.0;
+  auto line = mini.add_line(lc);
+  const Snapshot before = Snapshot::take();
+  const sim::NetworkStats stats_before = mini.net.stats();
+
+  // delivered, ttl_expired, and (after expiry) no_mapping outcomes.
+  (void)mini.net.send(
+      Packet::udp({line.device_address, 5000}, {mini.server_address, 80}),
+      line.device);
+  (void)mini.net.send(
+      Packet::udp({line.device_address, 5000}, {mini.server_address, 80}, 1),
+      line.device);
+  mini.clock.advance(31.0);
+  (void)mini.net.send(
+      Packet::udp({mini.server_address, 80}, {Ipv4Address(16, 0, 1, 2), 5000}),
+      mini.server_host);
+
+  const Snapshot after = Snapshot::take();
+  const sim::NetworkStats& stats = mini.net.stats();
+  EXPECT_EQ(after.sent - before.sent, stats.sent - stats_before.sent);
+  EXPECT_EQ(after.delivered - before.delivered,
+            stats.delivered - stats_before.delivered);
+  EXPECT_EQ(after.no_mapping - before.no_mapping,
+            stats.dropped_no_mapping - stats_before.dropped_no_mapping);
+  EXPECT_EQ(after.ttl - before.ttl,
+            stats.dropped_ttl - stats_before.dropped_ttl);
+  // Sanity on the mix itself: one of each outcome.
+  EXPECT_EQ(stats.sent - stats_before.sent, 3u);
+  EXPECT_EQ(stats.delivered - stats_before.delivered, 1u);
+  EXPECT_EQ(stats.dropped_ttl - stats_before.dropped_ttl, 1u);
+  EXPECT_EQ(stats.dropped_no_mapping - stats_before.dropped_no_mapping, 1u);
 }
 
 }  // namespace
