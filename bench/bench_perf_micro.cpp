@@ -9,12 +9,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
 
 #include "analysis/union_find.hpp"
 #include "bench/common.hpp"
 #include "dht/dht_node.hpp"
 #include "nat/nat_device.hpp"
 #include "netalyzr/messages.hpp"
+#include "netalyzr/session.hpp"
 #include "netcore/routing_table.hpp"
 #include "obs/metrics.hpp"
 #include "sim/network.hpp"
@@ -281,6 +283,49 @@ int main(int argc, char** argv) {
             << "  obs tax per round trip (8 incs + 2 observes): " << tax_ns
             << " ns (" << overhead_pct << "% — acceptance bar <2%)\n";
 
+  // Thread scaling of the Netalyzr campaign: the same world (fresh build,
+  // same seed) runs its campaign at 1, 2 and 4 workers. The session
+  // fingerprints must agree bit for bit — that is cgn::par's determinism
+  // guarantee — while wall clock shrinks with available cores (on a
+  // single-core host the worker counts tie; the identity check still
+  // exercises the full parallel machinery).
+  constexpr std::size_t kWorkerCounts[] = {1, 2, 4};
+  constexpr int kScalingRuns = int(std::size(kWorkerCounts));
+  double campaign_s[kScalingRuns] = {};
+  std::uint64_t fp[kScalingRuns] = {};
+  {
+    cgn::obs::ScopedPhase phase("perf.thread_scaling");
+    for (int i = 0; i < kScalingRuns; ++i) {
+      cgn::scenario::InternetConfig cfg;
+      cfg.seed = 42;
+      cfg.routed_ases = 240;
+      cfg.pbl_eyeballs = 120;
+      cfg.apnic_eyeballs = 120;
+      cfg.cellular_ases = 30;
+      auto internet = cgn::scenario::build_internet(cfg);
+      cgn::scenario::NetalyzrCampaignConfig cc;
+      cc.threads = kWorkerCounts[i];
+      auto t0 = std::chrono::steady_clock::now();
+      auto sessions = cgn::scenario::run_netalyzr_campaign(*internet, cc);
+      auto t1 = std::chrono::steady_clock::now();
+      campaign_s[i] = std::chrono::duration<double>(t1 - t0).count();
+      fp[i] = cgn::netalyzr::fingerprint(sessions);
+    }
+  }
+  const bool parallel_identical = fp[0] == fp[1] && fp[1] == fp[2];
+  const double speedup_4t =
+      campaign_s[2] > 0 ? campaign_s[0] / campaign_s[2] : 0.0;
+  std::cout << "\nNetalyzr campaign thread scaling (same seed, fresh world "
+            << "per run):\n";
+  for (int i = 0; i < kScalingRuns; ++i)
+    std::cout << "  " << kWorkerCounts[i] << " worker(s): " << campaign_s[i]
+              << " s\n";
+  std::cout << "  speedup at 4 workers: " << speedup_4t << "x on "
+            << std::thread::hardware_concurrency() << " core(s)\n"
+            << "  results identical across worker counts: "
+            << (parallel_identical ? "yes" : "NO — DETERMINISM BROKEN")
+            << '\n';
+
   cgn::bench::write_bench_json(
       "perf_micro",
       {{"echo_roundtrip_ns", delivery_ns},
@@ -288,6 +333,11 @@ int main(int argc, char** argv) {
        {"histogram_observe_ns", observe_ns},
        {"obs_tax_per_roundtrip_ns", tax_ns},
        {"obs_overhead_pct_estimate", overhead_pct},
-       {"metrics_enabled", cgn::obs::kMetricsEnabled ? 1.0 : 0.0}});
+       {"metrics_enabled", cgn::obs::kMetricsEnabled ? 1.0 : 0.0},
+       {"netalyzr_campaign_s_1t", campaign_s[0]},
+       {"netalyzr_campaign_s_2t", campaign_s[1]},
+       {"netalyzr_campaign_s_4t", campaign_s[2]},
+       {"netalyzr_speedup_4t", speedup_4t},
+       {"parallel_identical", parallel_identical ? 1.0 : 0.0}});
   return 0;
 }

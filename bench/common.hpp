@@ -5,6 +5,9 @@
 // rows/series next to the measured ones. CGN_BENCH_SCALE scales the AS
 // universe (default 0.4 for quick runs; 1.0 reproduces the calibrated
 // full-size world used in EXPERIMENTS.md), CGN_BENCH_SEED the world seed.
+// CGN_THREADS=N shards the Netalyzr campaign and the crawler's ping sweep
+// across N workers (default 1): wall clock drops, but figures, tables and
+// merged obs totals are bit-identical for every N (see cgn::par).
 #pragma once
 
 #include <cstdlib>
@@ -20,6 +23,7 @@
 #include "analysis/netalyzr_detector.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
+#include "par/thread_pool.hpp"
 #include "report/report.hpp"
 #include "scenario/campaign.hpp"
 #include "scenario/internet.hpp"
@@ -149,7 +153,8 @@ inline void write_bench_json(const std::string& name, const Figures& figures) {
   os << "{\"bench\":";
   obs::json_escape(os, name);
   os << ",\"scale\":" << env_double("CGN_BENCH_SCALE", 0.4)
-     << ",\"seed\":" << env_u64("CGN_BENCH_SEED", 42) << ",\"figures\":{";
+     << ",\"seed\":" << env_u64("CGN_BENCH_SEED", 42)
+     << ",\"threads\":" << par::configured_threads() << ",\"figures\":{";
   bool first = true;
   for (const auto& [key, value] : figures) {
     if (!first) os << ',';

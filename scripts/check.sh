@@ -9,6 +9,14 @@ cd "$(dirname "$0")/.."
 SANITIZE=1
 [[ "${1:-}" == "--no-sanitize" ]] && SANITIZE=0
 
+if command -v clang-format >/dev/null 2>&1; then
+  echo "== format: clang-format --dry-run -Werror (src/ tests/ bench/) =="
+  find src tests bench -name '*.hpp' -o -name '*.cpp' | \
+    xargs clang-format --dry-run -Werror
+else
+  echo "== format: clang-format not found, skipping =="
+fi
+
 echo "== tier-1: configure + build + ctest (build/) =="
 cmake -B build -S . >/dev/null
 cmake --build build -j

@@ -33,7 +33,11 @@ void DhtCrawler::handle(sim::Network& net, const sim::Packet& pkt) {
     return;
   }
   if (const auto* pong = std::get_if<dht::PongMsg>(msg)) {
-    if (pong->tx == awaiting_tx_) pong_tx_ = pong->tx;
+    if (tls_ping_ctx_) {
+      if (pong->tx == tls_ping_ctx_->awaiting) tls_ping_ctx_->got_pong = true;
+    } else if (pong->tx == awaiting_tx_) {
+      pong_tx_ = pong->tx;
+    }
     return;
   }
   // The crawler participates in the DHT: answer pings so peers that learn
@@ -162,6 +166,45 @@ std::size_t DhtCrawler::ping_step(sim::Network& net, std::size_t budget) {
     ++issued;
   }
   return issued;
+}
+
+DhtCrawler::PingShardOutcome DhtCrawler::ping_shard(
+    sim::Network& net, std::span<const dht::Contact> contacts,
+    std::size_t shard_id) {
+  PingShardOutcome out;
+  if (!config_.ping_learned) return out;
+  PingCtx ctx;
+  tls_ping_ctx_ = &ctx;
+  // Tx ids live in the shard's own namespace, far above the serial
+  // counter's range, so no two in-flight pings ever share an id.
+  std::uint64_t k = 0;
+  for (const dht::Contact& peer : contacts) {
+    const std::uint64_t tx = ((shard_id + 1) << 32) | ++k;
+    ctx.awaiting = tx;
+    ctx.got_pong = false;
+    sim::Packet pkt = sim::Packet::udp(local_, peer.endpoint);
+    pkt.payload = dht::Message{dht::PingMsg{tx, id_}};
+    ++out.pings_sent;
+    g_pings_sent.inc();
+    net.send(std::move(pkt), host_);
+    ctx.awaiting = 0;
+    if (ctx.got_pong) {
+      ++out.pongs_received;
+      g_pongs_received.inc();
+      out.responders.push_back(peer);
+    }
+  }
+  tls_ping_ctx_ = nullptr;
+  return out;
+}
+
+void DhtCrawler::absorb_ping_outcomes(
+    std::span<const PingShardOutcome> outcomes) {
+  for (const PingShardOutcome& o : outcomes) {
+    stats_.pings_sent += o.pings_sent;
+    for (const dht::Contact& peer : o.responders)
+      data_.note_ping_response(peer);
+  }
 }
 
 }  // namespace cgn::crawler

@@ -11,6 +11,7 @@
 
 #include <deque>
 #include <optional>
+#include <span>
 
 #include "crawler/crawl_dataset.hpp"
 #include "dht/dht_node.hpp"
@@ -67,6 +68,27 @@ class DhtCrawler {
   /// issued.
   std::size_t ping_step(sim::Network& net, std::size_t budget);
 
+  /// Locally recorded results of one parallel sweep shard, merged into the
+  /// crawler with absorb_ping_outcomes().
+  struct PingShardOutcome {
+    std::vector<dht::Contact> responders;
+    std::uint64_t pings_sent = 0;
+    std::uint64_t pongs_received = 0;
+  };
+
+  /// One shard of the parallel bt_ping sweep: probes `contacts` using
+  /// thread-local in-flight state and tx ids from shard `shard_id`'s
+  /// namespace, so concurrent shards never route each other's pongs. Does
+  /// not mutate stats_ or the dataset — the campaign driver absorbs the
+  /// outcomes in shard order after the barrier. Contact lists must target
+  /// disjoint routing subtrees (see Network::top_route).
+  [[nodiscard]] PingShardOutcome ping_shard(
+      sim::Network& net, std::span<const dht::Contact> contacts,
+      std::size_t shard_id);
+
+  /// Folds shard outcomes into stats() and dataset() in the given order.
+  void absorb_ping_outcomes(std::span<const PingShardOutcome> outcomes);
+
   [[nodiscard]] const CrawlDataset& dataset() const noexcept { return data_; }
   [[nodiscard]] const CrawlerStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const netcore::Endpoint& local_endpoint() const noexcept {
@@ -104,6 +126,16 @@ class DhtCrawler {
   std::uint64_t awaiting_tx_ = 0;
   std::optional<std::vector<dht::Contact>> reply_contacts_;
   std::optional<std::uint64_t> pong_tx_;
+
+  /// In-flight ping state for a parallel sweep shard. handle() runs on the
+  /// worker that sent the ping (delivery is synchronous), so a thread-local
+  /// pointer routes each pong to its sender without touching the serial
+  /// awaiting_tx_/pong_tx_ fields.
+  struct PingCtx {
+    std::uint64_t awaiting = 0;
+    bool got_pong = false;
+  };
+  inline static thread_local PingCtx* tls_ping_ctx_ = nullptr;
 };
 
 }  // namespace cgn::crawler

@@ -292,34 +292,54 @@ NatDevice::Mapping* NatDevice::create_mapping(const OutKey& key,
                                      1);
       if (first_chunk > last_chunk) {
         ++stats_.port_exhaustion_drops;
-    g_port_exhaustion.inc();
+        g_port_exhaustion.inc();
         return nullptr;
       }
       // Try pool members (starting with the paired choice) for a free chunk.
-      std::size_t start = pick_pool_index(internal_ip);
+      const std::size_t start = pick_pool_index(internal_ip);
+      const std::size_t chunk_count =
+          std::size_t{last_chunk} - first_chunk + 1;
       for (std::size_t off = 0; off < pool_.size() && !port; ++off) {
-        std::size_t candidate = (start + off) % pool_.size();
+        const std::size_t candidate = (start + off) % pool_.size();
         auto& taken = chunks_taken_[candidate];
-        if (taken.size() >= std::size_t{last_chunk} - first_chunk + 1) continue;
-        for (int attempt = 0; attempt < 64; ++attempt) {
-          auto chunk = static_cast<std::uint16_t>(
+        if (taken.size() >= chunk_count) continue;
+        // Random probes model the operator's randomized chunk placement;
+        // near full occupancy all 64 can collide with taken chunks, so
+        // fall back to a deterministic scan — the size check above
+        // guarantees it finds a free chunk, never a false exhaustion.
+        std::optional<std::uint16_t> chunk;
+        for (int attempt = 0; attempt < 64 && !chunk; ++attempt) {
+          auto c = static_cast<std::uint16_t>(
               rng_.uniform(first_chunk, last_chunk));
-          if (taken.contains(chunk)) continue;
-          taken.insert(chunk);
-          it = subscriber_chunks_
-                   .emplace(internal_ip,
-                            std::make_pair(candidate, static_cast<std::uint16_t>(
-                                                          chunk * cs)))
-                   .first;
+          if (!taken.contains(c)) chunk = c;
+        }
+        for (std::uint32_t c = first_chunk; c <= last_chunk && !chunk; ++c)
+          if (!taken.contains(static_cast<std::uint16_t>(c)))
+            chunk = static_cast<std::uint16_t>(c);
+        if (!chunk) continue;
+        // Commit the (pool index, chunk base) pair transactionally: if no
+        // port comes out of this pool member, release the chunk and drop
+        // the subscriber entry before trying the next member, so the
+        // stored pair always matches the ports actually allocated.
+        taken.insert(*chunk);
+        it = subscriber_chunks_
+                 .emplace(internal_ip,
+                          std::make_pair(candidate, static_cast<std::uint16_t>(
+                                                        *chunk * cs)))
+                 .first;
+        port = allocate_port(candidate, key.proto, key.internal.port,
+                             internal_ip);
+        if (port) {
           pool_idx = candidate;
-          port = allocate_port(pool_idx, key.proto, key.internal.port,
-                               internal_ip);
-          break;
+        } else {
+          taken.erase(*chunk);
+          subscriber_chunks_.erase(it);
+          it = subscriber_chunks_.end();
         }
       }
       if (it == subscriber_chunks_.end()) {
         ++stats_.port_exhaustion_drops;
-    g_port_exhaustion.inc();
+        g_port_exhaustion.inc();
         return nullptr;
       }
     } else {

@@ -21,7 +21,10 @@ void NetalyzrServer::handle(sim::Network& net, const sim::Packet& pkt) {
     return;
   }
   if (const auto* init = std::get_if<UdpInit>(msg)) {
-    flows_[init->flow] = pkt.src;
+    {
+      std::lock_guard lock(mu_);
+      flows_[init->flow] = pkt.src;
+    }
     sim::Packet reply = sim::Packet::udp(pkt.dst, pkt.src);
     reply.payload = NetalyzrMessage{UdpInitAck{init->flow, pkt.src}};
     net.send(std::move(reply), host_);
@@ -31,27 +34,33 @@ void NetalyzrServer::handle(sim::Network& net, const sim::Packet& pkt) {
   // on the hops they cross (most never arrive here at all).
 }
 
-std::optional<netcore::Endpoint> NetalyzrServer::observed_endpoint(
+std::optional<netcore::Endpoint> NetalyzrServer::flow_endpoint(
     std::uint64_t flow) const {
+  std::lock_guard lock(mu_);
   auto it = flows_.find(flow);
   if (it == flows_.end()) return std::nullopt;
   return it->second;
 }
 
+std::optional<netcore::Endpoint> NetalyzrServer::observed_endpoint(
+    std::uint64_t flow) const {
+  return flow_endpoint(flow);
+}
+
 void NetalyzrServer::send_keepalive(sim::Network& net, std::uint64_t flow,
                                     int ttl) {
-  auto it = flows_.find(flow);
-  if (it == flows_.end()) return;
-  sim::Packet pkt = sim::Packet::udp(udp_endpoint(), it->second, ttl);
+  auto dst = flow_endpoint(flow);
+  if (!dst) return;
+  sim::Packet pkt = sim::Packet::udp(udp_endpoint(), *dst, ttl);
   pkt.payload = NetalyzrMessage{UdpKeepalive{flow}};
   net.send(std::move(pkt), host_);
 }
 
 bool NetalyzrServer::send_probe(sim::Network& net, std::uint64_t flow,
                                 std::uint64_t seq) {
-  auto it = flows_.find(flow);
-  if (it == flows_.end()) return false;
-  sim::Packet pkt = sim::Packet::udp(udp_endpoint(), it->second);
+  auto dst = flow_endpoint(flow);
+  if (!dst) return false;
+  sim::Packet pkt = sim::Packet::udp(udp_endpoint(), *dst);
   pkt.payload = NetalyzrMessage{UdpProbe{flow, seq}};
   net.send(std::move(pkt), host_);
   return true;

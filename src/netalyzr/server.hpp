@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 
 #include "netalyzr/messages.hpp"
@@ -46,13 +47,22 @@ class NetalyzrServer {
   bool send_probe(sim::Network& net, std::uint64_t flow, std::uint64_t seq);
 
   /// Drops all per-flow state (between sessions).
-  void reset() { flows_.clear(); }
+  void reset() {
+    std::lock_guard lock(mu_);
+    flows_.clear();
+  }
 
  private:
   void handle(sim::Network& net, const sim::Packet& pkt);
+  [[nodiscard]] std::optional<netcore::Endpoint> flow_endpoint(
+      std::uint64_t flow) const;
 
   sim::NodeId host_;
   netcore::Ipv4Address address_;
+  /// Sessions from different campaign shards hit the one public server
+  /// concurrently; the flow table is the only cross-shard mutable state, so
+  /// it gets a lock (held only around map access, never across a send).
+  mutable std::mutex mu_;
   std::unordered_map<std::uint64_t, netcore::Endpoint> flows_;
 };
 

@@ -60,4 +60,13 @@ struct SessionResult {
   std::optional<TtlEnumResult> enumeration;    ///< TTL enumeration (subset)
 };
 
+/// Order-sensitive FNV-1a digest of every observation in `r`. Two sessions
+/// hash equal iff the measured values match field for field — what the
+/// parallel-campaign tests and bench compare across worker counts.
+[[nodiscard]] std::uint64_t fingerprint(const SessionResult& r) noexcept;
+
+/// Digest of a whole campaign, sensitive to session order.
+[[nodiscard]] std::uint64_t fingerprint(
+    const std::vector<SessionResult>& sessions) noexcept;
+
 }  // namespace cgn::netalyzr

@@ -5,17 +5,26 @@
 // allocation) happens once, on the cold path, and hands back a stable
 // reference; the *hot path* is a relaxed atomic load+store on that
 // reference — a plain memory add in the generated code, no lock prefix.
-// The simulator is single-threaded, so the single-writer update is exact;
-// concurrent writers would lose increments (never tear or fault), which is
-// an acceptable trade for metrics. Instrumented components cache their
-// handles at construction (or in a file-scope reference), so packet-rate
-// code never touches the registry map. Defining CGN_OBS_DISABLED (CMake
-// option -DCGN_OBS=OFF) compiles every increment down to nothing, which is
-// what the perf-micro bench compares against.
+// Instrumented components cache their handles at construction (or in a
+// file-scope reference), so packet-rate code never touches the registry
+// map. Defining CGN_OBS_DISABLED (CMake option -DCGN_OBS=OFF) compiles
+// every increment down to nothing, which is what the perf-micro bench
+// compares against.
+//
+// Threading: every metric is striped over kMaxThreadSlots per-thread cells.
+// The default slot 0 serves single-threaded code; cgn::par workers install
+// a distinct slot (ThreadSlotScope), so each cell stays single-writer and
+// the cheap relaxed update remains exact even while campaign shards run in
+// parallel. Reads (value(), export) merge the cells in slot order — integer
+// totals are exact and independent of how shards were assigned to workers,
+// which is what makes an N-thread campaign's metric totals bit-identical
+// to the 1-thread run.
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
@@ -34,25 +43,72 @@ inline constexpr bool kMetricsEnabled = false;
 inline constexpr bool kMetricsEnabled = true;
 #endif
 
+/// Metric cells per metric: slot 0 is the default (main-thread) cell,
+/// slots 1.. are claimed by parallel campaign workers. Bounds the worker
+/// count of cgn::par::ThreadPool.
+inline constexpr std::size_t kMaxThreadSlots = 32;
+
+namespace detail {
+inline thread_local std::size_t t_metric_slot = 0;
+}  // namespace detail
+
+/// The calling thread's metric slot (0 unless a ThreadSlotScope is active).
+[[nodiscard]] inline std::size_t thread_slot() noexcept {
+  return detail::t_metric_slot;
+}
+
+/// Scoped claim of a metric slot for the calling thread. Two live threads
+/// must never share a slot; cgn::par::ThreadPool assigns worker w slot w+1
+/// for the worker's lifetime, keeping slot 0 for the (blocked) main thread.
+class ThreadSlotScope {
+ public:
+  explicit ThreadSlotScope(std::size_t slot) noexcept
+      : prev_(detail::t_metric_slot) {
+    detail::t_metric_slot = slot < kMaxThreadSlots ? slot : kMaxThreadSlots - 1;
+  }
+  ThreadSlotScope(const ThreadSlotScope&) = delete;
+  ThreadSlotScope& operator=(const ThreadSlotScope&) = delete;
+  ~ThreadSlotScope() { detail::t_metric_slot = prev_; }
+
+ private:
+  std::size_t prev_;
+};
+
+namespace detail {
+/// One cache line per cell so workers bumping the same counter never
+/// false-share.
+template <typename T>
+struct alignas(64) PaddedAtomic {
+  std::atomic<T> v{0};
+};
+}  // namespace detail
+
 /// Monotonically increasing event count.
 class Counter {
  public:
   void inc(std::uint64_t n = 1) noexcept {
-    if constexpr (kMetricsEnabled)
-      // Single-writer add (see the header comment): a plain add instruction
-      // instead of a lock-prefixed fetch_add, ~5x cheaper on the hot path.
-      value_.store(value_.load(std::memory_order_relaxed) + n,
-                   std::memory_order_relaxed);
-    else
+    if constexpr (kMetricsEnabled) {
+      // Single-writer add on the thread's own cell (see the header
+      // comment): a plain add instruction instead of a lock-prefixed
+      // fetch_add, ~5x cheaper on the hot path.
+      auto& cell = cells_[detail::t_metric_slot].v;
+      cell.store(cell.load(std::memory_order_relaxed) + n,
+                 std::memory_order_relaxed);
+    } else {
       (void)n;
+    }
   }
   [[nodiscard]] std::uint64_t value() const noexcept {
-    return value_.load(std::memory_order_relaxed);
+    std::uint64_t total = 0;
+    for (const auto& c : cells_) total += c.v.load(std::memory_order_relaxed);
+    return total;
   }
-  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+  void reset() noexcept {
+    for (auto& c : cells_) c.v.store(0, std::memory_order_relaxed);
+  }
 
  private:
-  std::atomic<std::uint64_t> value_{0};
+  std::array<detail::PaddedAtomic<std::uint64_t>, kMaxThreadSlots> cells_;
 };
 
 /// Instantaneous level (table occupancy, frontier size, ...). Signed so a
@@ -60,31 +116,45 @@ class Counter {
 class Gauge {
  public:
   void add(std::int64_t n) noexcept {
-    if constexpr (kMetricsEnabled)
-      value_.store(value_.load(std::memory_order_relaxed) + n,
-                   std::memory_order_relaxed);
-    else
+    if constexpr (kMetricsEnabled) {
+      auto& cell = cells_[detail::t_metric_slot].v;
+      cell.store(cell.load(std::memory_order_relaxed) + n,
+                 std::memory_order_relaxed);
+    } else {
       (void)n;
+    }
   }
   void sub(std::int64_t n) noexcept { add(-n); }
+  /// Absolute store. Only meaningful from single-threaded code: the value
+  /// lands in the calling thread's cell and every other cell is zeroed, so
+  /// concurrent workers must stick to add()/sub().
   void set(std::int64_t v) noexcept {
-    if constexpr (kMetricsEnabled)
-      value_.store(v, std::memory_order_relaxed);
-    else
+    if constexpr (kMetricsEnabled) {
+      for (auto& c : cells_) c.v.store(0, std::memory_order_relaxed);
+      cells_[detail::t_metric_slot].v.store(v, std::memory_order_relaxed);
+    } else {
       (void)v;
+    }
   }
   [[nodiscard]] std::int64_t value() const noexcept {
-    return value_.load(std::memory_order_relaxed);
+    std::int64_t total = 0;
+    for (const auto& c : cells_) total += c.v.load(std::memory_order_relaxed);
+    return total;
   }
-  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+  void reset() noexcept {
+    for (auto& c : cells_) c.v.store(0, std::memory_order_relaxed);
+  }
 
  private:
-  std::atomic<std::int64_t> value_{0};
+  std::array<detail::PaddedAtomic<std::int64_t>, kMaxThreadSlots> cells_;
 };
 
 /// Fixed-bucket histogram: bucket `i` counts observations <= bounds[i], the
 /// implicit last bucket counts the overflow. Bounds are immutable after
-/// construction, so observation is lock-free.
+/// construction, so observation is lock-free. Buckets and sums are striped
+/// per thread slot like Counter; integer contributions (observe_small)
+/// merge exactly across slots, so campaign-path histograms — which stay on
+/// the integer fast path — are thread-count invariant.
 class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds);
@@ -96,10 +166,12 @@ class Histogram {
       const auto i = static_cast<std::size_t>(
           std::lower_bound(bounds_.begin(), bounds_.end(), v) -
           bounds_.begin());
-      buckets_[i].store(buckets_[i].load(std::memory_order_relaxed) + 1,
-                        std::memory_order_relaxed);
-      sum_.store(sum_.load(std::memory_order_relaxed) + v,
-                 std::memory_order_relaxed);
+      auto& b = bucket_cell(detail::t_metric_slot, i);
+      b.store(b.load(std::memory_order_relaxed) + 1,
+              std::memory_order_relaxed);
+      auto& s = sums_[detail::t_metric_slot].v;
+      s.store(s.load(std::memory_order_relaxed) + v,
+              std::memory_order_relaxed);
     } else {
       (void)v;
     }
@@ -112,11 +184,12 @@ class Histogram {
   void observe_small(std::uint32_t v) noexcept {
     if constexpr (kMetricsEnabled) {
       if (v < small_lut_.size()) {
-        const std::size_t i = small_lut_[v];
-        buckets_[i].store(buckets_[i].load(std::memory_order_relaxed) + 1,
-                          std::memory_order_relaxed);
-        isum_.store(isum_.load(std::memory_order_relaxed) + v,
-                    std::memory_order_relaxed);
+        auto& b = bucket_cell(detail::t_metric_slot, small_lut_[v]);
+        b.store(b.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+        auto& s = isums_[detail::t_metric_slot].v;
+        s.store(s.load(std::memory_order_relaxed) + v,
+                std::memory_order_relaxed);
       } else {
         observe(static_cast<double>(v));
       }
@@ -128,7 +201,8 @@ class Histogram {
   [[nodiscard]] const std::vector<double>& bounds() const noexcept {
     return bounds_;
   }
-  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  /// bounds().size() + 1 entries; the last is the overflow bucket. Merged
+  /// over thread slots in slot order.
   [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
   /// Total observations — derived from the buckets (cold path).
   [[nodiscard]] std::uint64_t count() const noexcept {
@@ -137,8 +211,13 @@ class Histogram {
     return n;
   }
   [[nodiscard]] double sum() const noexcept {
-    return sum_.load(std::memory_order_relaxed) +
-           static_cast<double>(isum_.load(std::memory_order_relaxed));
+    // Slot-order merge: integer contributions first (exact), then the
+    // observe() doubles in slot order so the rounding sequence is fixed.
+    std::uint64_t isum = 0;
+    for (const auto& s : isums_) isum += s.v.load(std::memory_order_relaxed);
+    double total = static_cast<double>(isum);
+    for (const auto& s : sums_) total += s.v.load(std::memory_order_relaxed);
+    return total;
   }
   [[nodiscard]] double mean() const noexcept {
     auto n = count();
@@ -146,12 +225,24 @@ class Histogram {
   }
   void reset() noexcept;
 
+  /// Adds `other`'s observations into this histogram (into the calling
+  /// thread's slot). Bounds must match; used by MetricsRegistry::merge_from.
+  void merge_from(const Histogram& other);
+
  private:
+  [[nodiscard]] std::atomic<std::uint64_t>& bucket_cell(std::size_t slot,
+                                                        std::size_t i) noexcept {
+    return buckets_[slot * (bounds_.size() + 1) + i];
+  }
+
   std::vector<double> bounds_;
+  /// kMaxThreadSlots stripes of bounds()+1 buckets: index slot*(n+1)+i.
   std::vector<std::atomic<std::uint64_t>> buckets_;
   std::vector<std::uint16_t> small_lut_;  ///< bucket index for v in [0, 64]
-  std::atomic<double> sum_{0.0};          ///< observe() contributions
-  std::atomic<std::uint64_t> isum_{0};    ///< observe_small() contributions
+  /// observe() contributions per slot.
+  std::array<detail::PaddedAtomic<double>, kMaxThreadSlots> sums_;
+  /// observe_small() contributions per slot.
+  std::array<detail::PaddedAtomic<std::uint64_t>, kMaxThreadSlots> isums_;
 };
 
 /// Owns every metric by name. Handles returned by counter()/gauge()/
@@ -182,6 +273,12 @@ class MetricsRegistry {
   /// Zeroes all counter/gauge/histogram values; handles stay valid and
   /// probes stay registered.
   void reset_values();
+
+  /// Folds `other`'s metric values into this registry, creating metrics
+  /// that don't exist here yet. Callers merging several registries must do
+  /// so in a fixed (shard) order so double-sum rounding is reproducible;
+  /// integer totals merge exactly in any order. Probes are not copied.
+  void merge_from(const MetricsRegistry& other);
 
   [[nodiscard]] std::size_t metric_count() const;
 

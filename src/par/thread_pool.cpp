@@ -1,0 +1,65 @@
+#include "par/thread_pool.hpp"
+
+#include <cstdlib>
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace cgn::par {
+
+std::size_t configured_threads() {
+  const char* v = std::getenv("CGN_THREADS");
+  if (!v || !*v) return 1;
+  char* end = nullptr;
+  const unsigned long n = std::strtoul(v, &end, 10);
+  if (end == v || n == 0) return 1;
+  // Slot 0 stays reserved for the main thread, so at most
+  // kMaxThreadSlots - 1 workers can hold distinct metric slots.
+  const std::size_t max_workers = obs::kMaxThreadSlots - 1;
+  return n > max_workers ? max_workers : static_cast<std::size_t>(n);
+}
+
+void run_shards(std::size_t shard_count,
+                const std::function<void(std::size_t)>& shard_fn,
+                std::size_t threads) {
+  if (shard_count == 0) return;
+  if (threads == 0) threads = configured_threads();
+  const std::size_t workers = threads < shard_count ? threads : shard_count;
+
+  // Exceptions recorded per shard so the rethrow choice (lowest shard
+  // index) is independent of worker timing.
+  std::vector<std::exception_ptr> errors(shard_count);
+
+  auto run_worker = [&](std::size_t w) {
+    for (std::size_t shard = w; shard < shard_count; shard += workers) {
+      try {
+        shard_fn(shard);
+      } catch (...) {
+        errors[shard] = std::current_exception();
+      }
+    }
+  };
+
+  if (workers == 1) {
+    // Serial path: same shard loop, calling thread keeps its own slot.
+    run_worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w)
+      pool.emplace_back([&, w] {
+        // Worker w owns metric slot w+1 for its lifetime; the calling
+        // thread (slot 0) is blocked in join below, so slots never alias.
+        obs::ThreadSlotScope slot(w + 1);
+        run_worker(w);
+      });
+    for (auto& t : pool) t.join();
+  }
+
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+}  // namespace cgn::par

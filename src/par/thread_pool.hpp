@@ -1,0 +1,48 @@
+// Deterministic shard execution for campaign phases.
+//
+// The campaign layer splits its work list into *shards* keyed by simulation
+// structure (one Netalyzr shard per ISP, one ping shard per root routing
+// subtree) and hands them to run_shards(). The contract that makes an
+// N-thread campaign bit-identical to the 1-thread one:
+//
+//  * The shard decomposition never depends on the worker count — callers
+//    shard by topology, not by N.
+//  * Assignment is static round-robin: shard i runs on worker i % N, and
+//    each worker processes its shards in ascending shard order. No work
+//    stealing, no completion-order effects.
+//  * Each shard derives its own RNG substream (sim::Rng::fork(seed, shard))
+//    and runs under its own virtual clock (sim::ThreadClockScope), so no
+//    shard observes another's randomness or time.
+//  * Worker w installs obs thread slot w + 1 (obs::ThreadSlotScope) for its
+//    whole lifetime; metric cells stay single-writer and merge exactly.
+//  * run_shards() is a barrier: all shards finish (or the first exception
+//    is rethrown on the caller) before it returns. Callers then merge
+//    per-shard results in shard order.
+//
+// Because assignment is static and shards touch disjoint simulation state,
+// the worker count only changes wall-clock time, never results — including
+// N == 1, which runs the exact same sharded code path inline.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace cgn::par {
+
+/// Worker count from the CGN_THREADS environment variable, clamped to
+/// [1, obs::kMaxThreadSlots - 1]; 1 (serial) when unset or unparsable.
+[[nodiscard]] std::size_t configured_threads();
+
+/// Runs `shard_fn(shard)` for every shard in [0, shard_count) across
+/// `threads` workers (0 -> configured_threads()) with the static
+/// round-robin assignment described above, and blocks until all shards
+/// complete. With one worker (or one shard) everything runs inline on the
+/// calling thread — same code path, no threads spawned. If any shard
+/// throws, the lowest-indexed exception is rethrown after the barrier.
+/// shard_fn must not touch state shared with other shards unless that
+/// state is internally synchronized.
+void run_shards(std::size_t shard_count,
+                const std::function<void(std::size_t)>& shard_fn,
+                std::size_t threads = 0);
+
+}  // namespace cgn::par

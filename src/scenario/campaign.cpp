@@ -1,8 +1,10 @@
 #include "scenario/campaign.hpp"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "obs/profiler.hpp"
+#include "par/thread_pool.hpp"
 
 namespace cgn::scenario {
 
@@ -72,50 +74,114 @@ std::unique_ptr<crawler::DhtCrawler> run_crawl_phase(
         internet.clock.advance(config.step_interval_s);
     }
   }
-  // bt_ping sweep over everything we learned (Table 2 responder counts).
+  // bt_ping sweep over everything we learned (Table 2 responder counts),
+  // sharded by the destination's root routing subtree: every NAT a probe
+  // (or its pong) can touch lives inside that subtree, so shards mutate
+  // disjoint simulation state. Unrouted/reserved destinations group under
+  // kNoNode. The grouping keys off topology — never the worker count — so
+  // the decomposition (and with it the dataset) is thread-count invariant;
+  // ping responses land in sets, so merge order cannot matter either.
   obs::ScopedPhase sweep("ping_sweep");
-  while (crawler->ping_step(internet.net, 10'000) > 0) {
+  const std::vector<dht::Contact> contacts =
+      crawler->dataset().learned_contacts();
+  std::vector<std::vector<dht::Contact>> shards;
+  std::unordered_map<sim::NodeId, std::size_t> shard_of;
+  for (const dht::Contact& c : contacts) {
+    auto [it, inserted] =
+        shard_of.try_emplace(internet.net.top_route(c.endpoint.address),
+                             shards.size());
+    if (inserted) shards.emplace_back();
+    shards[it->second].push_back(c);
   }
+  std::vector<crawler::DhtCrawler::PingShardOutcome> outcomes(shards.size());
+  par::run_shards(
+      shards.size(),
+      [&](std::size_t s) {
+        outcomes[s] = crawler->ping_shard(internet.net, shards[s], s);
+      },
+      config.threads);
+  crawler->absorb_ping_outcomes(outcomes);
   return crawler;
 }
 
 std::vector<netalyzr::SessionResult> run_netalyzr_campaign(
     Internet& internet, const NetalyzrCampaignConfig& config) {
   obs::ScopedPhase phase("campaign.netalyzr");
-  sim::Rng rng = internet.fork_rng();
+  // One fork keeps the Internet's RNG sequence aligned with earlier
+  // drivers; its first output seeds every shard substream.
+  const std::uint64_t campaign_seed = internet.fork_rng().engine()();
+
+  // Shard = one ISP with sessions to run: an ISP's subscribers, CPE NATs
+  // and CGN are confined to its own subtree, so shards mutate disjoint
+  // simulation state (the shared Netalyzr/STUN servers are internally
+  // synchronized or stateless). The decomposition keys off topology —
+  // never the worker count — and each shard derives its RNG substream from
+  // (campaign_seed, shard index) and runs on its own clock, so any worker
+  // count produces bit-identical sessions.
+  std::vector<IspInstance*> shard_isps;
+  for (IspInstance& isp : internet.isps)
+    if (isp.nz_session_target > 0) shard_isps.push_back(&isp);
+
+  const sim::SimTime t0 = internet.clock.now();
+  std::vector<std::vector<netalyzr::SessionResult>> shard_results(
+      shard_isps.size());
+  std::vector<sim::SimTime> shard_end(shard_isps.size(), t0);
+
+  par::run_shards(
+      shard_isps.size(),
+      [&](std::size_t s) {
+        IspInstance& isp = *shard_isps[s];
+        sim::Rng rng = sim::Rng::fork(campaign_seed, s);
+        // Per-ISP vantage points measure concurrently, so each shard
+        // advances a private timeline; the override makes the network
+        // stamp this worker's packets from it.
+        sim::Clock clock;
+        clock.set(t0);
+        sim::ThreadClockScope clock_scope(clock);
+
+        // Sessions come from distinct subscribers where possible.
+        std::vector<std::size_t> order(isp.subscribers.size());
+        for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+        rng.shuffle(order);
+
+        std::vector<netalyzr::SessionResult>& results = shard_results[s];
+        for (std::size_t k = 0; k < isp.nz_session_target; ++k) {
+          Subscriber& sub = isp.subscribers[order[k % order.size()]];
+          netalyzr::ClientContext ctx;
+          ctx.host = sub.device;
+          ctx.device_address = sub.device_address;
+          ctx.asn = isp.asn;
+          ctx.cellular = isp.cellular;
+          ctx.upnp_cpe = sub.cpe_upnp ? sub.cpe : nullptr;
+
+          netalyzr::NetalyzrClient client(ctx, *sub.demux, rng.fork());
+          netalyzr::SessionResult session =
+              client.run_basic(internet.net, *internet.servers.netalyzr);
+          if (rng.chance(config.stun_fraction))
+            client.run_stun(internet.net, *internet.servers.stun, session);
+          if (rng.chance(config.enum_fraction))
+            client.run_enumeration(internet.net, clock,
+                                   *internet.servers.netalyzr,
+                                   config.enum_config, session);
+          results.push_back(std::move(session));
+          clock.advance(config.inter_session_gap_s);
+        }
+        // Trim the ISP's NAT state to bound memory.
+        if (isp.cgn) isp.cgn->collect_garbage(clock.now());
+        shard_end[s] = clock.now();
+      },
+      config.threads);
+
+  // Vantage points ran concurrently: the campaign took as long as its
+  // longest shard.
+  sim::SimTime end = t0;
+  for (sim::SimTime t : shard_end) end = std::max(end, t);
+  internet.clock.set(end);
+
+  // Merge in shard (ISP) order — the same order the serial loop visited.
   std::vector<netalyzr::SessionResult> results;
-
-  for (IspInstance& isp : internet.isps) {
-    if (isp.nz_session_target == 0) continue;
-    // Sessions come from distinct subscribers where possible.
-    std::vector<std::size_t> order(isp.subscribers.size());
-    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-    rng.shuffle(order);
-
-    for (std::size_t k = 0; k < isp.nz_session_target; ++k) {
-      Subscriber& sub = isp.subscribers[order[k % order.size()]];
-      netalyzr::ClientContext ctx;
-      ctx.host = sub.device;
-      ctx.device_address = sub.device_address;
-      ctx.asn = isp.asn;
-      ctx.cellular = isp.cellular;
-      ctx.upnp_cpe = sub.cpe_upnp ? sub.cpe : nullptr;
-
-      netalyzr::NetalyzrClient client(ctx, *sub.demux, rng.fork());
-      netalyzr::SessionResult session =
-          client.run_basic(internet.net, *internet.servers.netalyzr);
-      if (rng.chance(config.stun_fraction))
-        client.run_stun(internet.net, *internet.servers.stun, session);
-      if (rng.chance(config.enum_fraction))
-        client.run_enumeration(internet.net, internet.clock,
-                               *internet.servers.netalyzr, config.enum_config,
-                               session);
-      results.push_back(std::move(session));
-      internet.clock.advance(config.inter_session_gap_s);
-    }
-    // Trim the ISP's NAT state between ASes to bound memory.
-    if (isp.cgn) isp.cgn->collect_garbage(internet.clock.now());
-  }
+  for (auto& shard : shard_results)
+    for (auto& session : shard) results.push_back(std::move(session));
   return results;
 }
 

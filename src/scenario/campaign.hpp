@@ -42,6 +42,9 @@ struct CrawlPhaseConfig {
   std::size_t peers_per_step = 500;
   double step_interval_s = 0.0;
   std::size_t max_peers = 1'000'000;
+  /// Workers for the bt_ping sweep: 0 reads CGN_THREADS (default serial).
+  /// Results are identical for every worker count (see cgn::par).
+  std::size_t threads = 0;
 };
 
 /// Runs a full crawl (including the bt_ping sweep) and returns the crawler.
@@ -55,6 +58,9 @@ struct NetalyzrCampaignConfig {
   double stun_fraction = 0.50;
   netalyzr::TtlEnumConfig enum_config;
   double inter_session_gap_s = 300.0;  ///< idle gap between sessions
+  /// Workers for the per-ISP session shards: 0 reads CGN_THREADS (default
+  /// serial). Results are identical for every worker count (see cgn::par).
+  std::size_t threads = 0;
 };
 
 [[nodiscard]] std::vector<netalyzr::SessionResult> run_netalyzr_campaign(

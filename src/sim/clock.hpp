@@ -33,4 +33,26 @@ class Clock {
   SimTime now_ = 0.0;
 };
 
+/// Scoped thread-local clock override. While a scope is live on a thread,
+/// sim::Network timestamps packets (and reports clock()) from the override
+/// instead of the network's own clock — this is how each campaign shard
+/// advances its private clock without touching the shared one. Scopes nest;
+/// destruction restores the previous override.
+class ThreadClockScope {
+ public:
+  explicit ThreadClockScope(const Clock& clock) noexcept : prev_(current_) {
+    current_ = &clock;
+  }
+  ThreadClockScope(const ThreadClockScope&) = delete;
+  ThreadClockScope& operator=(const ThreadClockScope&) = delete;
+  ~ThreadClockScope() { current_ = prev_; }
+
+  /// The active override for the calling thread, or nullptr.
+  [[nodiscard]] static const Clock* current() noexcept { return current_; }
+
+ private:
+  const Clock* prev_;
+  inline static thread_local const Clock* current_ = nullptr;
+};
+
 }  // namespace cgn::sim

@@ -97,6 +97,26 @@ void Network::unregister_address(netcore::Ipv4Address address, NodeId owner,
 
 NodeId Network::parent(NodeId node) const { return nodes_.at(node).parent; }
 
+const NetworkStats& Network::stats() const noexcept {
+  stats_merged_ = {};
+  for (const auto& cell : stats_cells_) {
+    stats_merged_.sent += cell.sent;
+    stats_merged_.delivered += cell.delivered;
+    stats_merged_.dropped_ttl += cell.dropped_ttl;
+    stats_merged_.dropped_no_route += cell.dropped_no_route;
+    stats_merged_.dropped_filtered += cell.dropped_filtered;
+    stats_merged_.dropped_no_mapping += cell.dropped_no_mapping;
+    stats_merged_.dropped_other += cell.dropped_other;
+  }
+  return stats_merged_;
+}
+
+NodeId Network::top_route(netcore::Ipv4Address address) const {
+  const auto& routes = nodes_.front().down_routes;
+  auto it = routes.find(address);
+  return it == routes.end() ? kNoNode : it->second;
+}
+
 const std::string& Network::name(NodeId node) const {
   return nodes_.at(node).name;
 }
@@ -148,28 +168,28 @@ DropReason Network::to_drop_reason(Middlebox::Verdict v) noexcept {
 DeliveryResult Network::finish(DeliveryResult r) {
   switch (r.reason) {
     case DropReason::none:
-      ++stats_.delivered;
+      ++stats_cell().delivered;
       obs_.delivered.inc();
       obs_.hops.observe_small(static_cast<std::uint32_t>(r.hops));
       break;
     case DropReason::ttl_expired:
-      ++stats_.dropped_ttl;
+      ++stats_cell().dropped_ttl;
       obs_.dropped_ttl.inc();
       break;
     case DropReason::no_route:
-      ++stats_.dropped_no_route;
+      ++stats_cell().dropped_no_route;
       obs_.dropped_no_route.inc();
       break;
     case DropReason::filtered:
-      ++stats_.dropped_filtered;
+      ++stats_cell().dropped_filtered;
       obs_.dropped_filtered.inc();
       break;
     case DropReason::no_mapping:
-      ++stats_.dropped_no_mapping;
+      ++stats_cell().dropped_no_mapping;
       obs_.dropped_no_mapping.inc();
       break;
     default:
-      ++stats_.dropped_other;
+      ++stats_cell().dropped_other;
       obs_.dropped_other.inc();
       break;
   }
@@ -187,9 +207,9 @@ DeliveryResult Network::deliver_at(NodeId node, Packet& pkt, int hops) {
 }
 
 DeliveryResult Network::send(Packet pkt, NodeId from) {
-  ++stats_.sent;
+  ++stats_cell().sent;
   obs_.sent.inc();
-  const SimTime now = clock_->now();
+  const SimTime now = clock().now();
   int hops = 0;
   NodeId node = nodes_.at(from).parent;
   // Ascent: walk from the sender toward the core until a node claims the
@@ -242,7 +262,7 @@ DeliveryResult Network::send(Packet pkt, NodeId from) {
 }
 
 DeliveryResult Network::descend(NodeId node, Packet& pkt, int hops) {
-  const SimTime now = clock_->now();
+  const SimTime now = clock().now();
   while (true) {
     if (++hops > kMaxHops)
       return finish({.reason = DropReason::hop_limit, .final_node = node});

@@ -11,6 +11,7 @@
 // reproducible as *measurements* instead of hard-coded outputs.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
@@ -143,10 +144,26 @@ class Network {
   /// send returns.
   DeliveryResult send(Packet pkt, NodeId from);
 
-  [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
-  void reset_stats() noexcept { stats_ = {}; }
+  /// Delivery statistics merged over thread slots (see obs::ThreadSlotScope).
+  /// Call only while no worker is mid-send; campaign code reads it after
+  /// the shard barrier.
+  [[nodiscard]] const NetworkStats& stats() const noexcept;
+  void reset_stats() noexcept { stats_cells_.fill({}); }
 
-  [[nodiscard]] const Clock& clock() const noexcept { return *clock_; }
+  /// The clock packets are stamped with: the calling thread's
+  /// ThreadClockScope override when one is active (campaign shards), else
+  /// the network's own clock.
+  [[nodiscard]] const Clock& clock() const noexcept {
+    const Clock* c = ThreadClockScope::current();
+    return c ? *c : *clock_;
+  }
+
+  /// First-hop child the root would forward `address` to, or kNoNode when
+  /// the root has no route (reserved/unrouted space). Two destinations with
+  /// the same top route share a root subtree — the unit campaign sharding
+  /// partitions work by, since all mutable middlebox state on a delivery
+  /// path lives inside the destination's subtree.
+  [[nodiscard]] NodeId top_route(netcore::Ipv4Address address) const;
 
   /// Event classes pushed into an attached hop-trace ring. `code` carries
   /// the Middlebox::Verdict for `middlebox` events and the DropReason for
@@ -203,12 +220,20 @@ class Network {
                    std::uint8_t code) const {
     if (trace_)
       trace_->push({node, static_cast<std::int16_t>(ttl),
-                    static_cast<std::uint8_t>(kind), code, clock_->now()});
+                    static_cast<std::uint8_t>(kind), code, clock().now()});
+  }
+
+  /// The calling thread's stats cell. Cells are per obs thread slot, so
+  /// concurrent shard workers never write the same cell (plain non-atomic
+  /// fields stay race-free); stats() merges them.
+  [[nodiscard]] NetworkStats& stats_cell() noexcept {
+    return stats_cells_[obs::thread_slot()];
   }
 
   Clock* clock_;
   std::vector<Node> nodes_;
-  NetworkStats stats_;
+  std::array<NetworkStats, obs::kMaxThreadSlots> stats_cells_{};
+  mutable NetworkStats stats_merged_;  ///< scratch for stats()
   ObsHandles obs_ = make_obs_handles();
   obs::TraceRing* trace_ = nullptr;
 };

@@ -70,6 +70,20 @@ class Rng {
   /// Derives an independent child generator (for parallel subsystem seeding).
   [[nodiscard]] Rng fork() { return Rng(engine_()); }
 
+  /// Derives the substream for shard `shard_id` of a campaign seeded with
+  /// `seed`. Unlike fork(), this consumes no generator state: shard k's
+  /// stream depends only on (seed, k), never on how many shards exist or in
+  /// which order they are derived — the property that makes sharded
+  /// campaigns thread-count invariant. Mixing is splitmix64, whose output
+  /// is equidistributed over distinct inputs, so adjacent shard ids yield
+  /// uncorrelated mt19937_64 seeds.
+  [[nodiscard]] static Rng fork(std::uint64_t seed, std::uint64_t shard_id) {
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (shard_id + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return Rng(z ^ (z >> 31));
+  }
+
   [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
 
  private:

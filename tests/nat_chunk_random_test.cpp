@@ -1,0 +1,150 @@
+// chunk_random regression coverage: port-exhaustion must only be reported
+// when every chunk is genuinely taken, and the sticky (pool index, chunk
+// base) record must always agree with the ports actually handed out.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "nat/nat_device.hpp"
+#include "nat/nat_types.hpp"
+#include "netcore/ipv4.hpp"
+#include "sim/packet.hpp"
+#include "sim/rng.hpp"
+
+namespace cgn::nat {
+namespace {
+
+constexpr netcore::Endpoint kRemote{netcore::Ipv4Address(93, 184, 216, 34),
+                                    80};
+
+netcore::Ipv4Address subscriber_ip(std::uint32_t i) {
+  return netcore::Ipv4Address(10, 0, static_cast<std::uint8_t>(i >> 8),
+                              static_cast<std::uint8_t>(i & 0xff));
+}
+
+TEST(NatChunkRandom, NoFalseExhaustionUnderFullOccupancy) {
+  // chunk_size 64 over [1024, 65535] gives chunks 16..1023 — 1008 of them.
+  // The old allocator gave up after 64 random probes, so near full
+  // occupancy (one free chunk left, p(miss) ≈ (1007/1008)^64 ≈ 0.94) it
+  // reported exhaustion while a chunk was still free. Every one of the
+  // 1008 subscribers must be served; only subscriber 1009 is real
+  // exhaustion.
+  NatConfig cfg;
+  cfg.port_allocation = PortAllocation::chunk_random;
+  cfg.chunk_size = 64;
+  NatDevice nat(cfg, {netcore::Ipv4Address(198, 51, 100, 1)}, sim::Rng(7));
+
+  constexpr std::uint32_t kChunks = 1008;
+  for (std::uint32_t i = 0; i < kChunks; ++i) {
+    sim::Packet pkt = sim::Packet::udp({subscriber_ip(i), 5000}, kRemote);
+    ASSERT_EQ(nat.process_outbound(pkt, 0.0),
+              sim::Middlebox::Verdict::forward)
+        << "subscriber " << i << " falsely exhausted";
+  }
+  EXPECT_EQ(nat.stats().port_exhaustion_drops, 0u);
+
+  sim::Packet extra = sim::Packet::udp({subscriber_ip(kChunks), 5000},
+                                       kRemote);
+  EXPECT_NE(nat.process_outbound(extra, 0.0),
+            sim::Middlebox::Verdict::forward);
+  EXPECT_EQ(nat.stats().port_exhaustion_drops, 1u);
+}
+
+TEST(NatChunkRandom, AssignedChunksCoverTheWholeRangeExactlyOnce) {
+  NatConfig cfg;
+  cfg.port_allocation = PortAllocation::chunk_random;
+  cfg.chunk_size = 256;
+  cfg.port_min = 1024;
+  cfg.port_max = 4095;  // chunks 4..15 — 12 subscribers
+  NatDevice nat(cfg, {netcore::Ipv4Address(198, 51, 100, 1)}, sim::Rng(3));
+
+  std::set<std::uint16_t> bases;
+  for (std::uint32_t i = 0; i < 12; ++i) {
+    sim::Packet pkt = sim::Packet::udp({subscriber_ip(i), 4444}, kRemote);
+    ASSERT_EQ(nat.process_outbound(pkt, 0.0),
+              sim::Middlebox::Verdict::forward);
+    auto chunk = nat.subscriber_chunk(subscriber_ip(i));
+    ASSERT_TRUE(chunk.has_value());
+    EXPECT_EQ(chunk->second, cfg.chunk_size);
+    EXPECT_EQ(chunk->first % cfg.chunk_size, 0u);
+    EXPECT_GE(chunk->first, cfg.port_min);
+    EXPECT_TRUE(bases.insert(chunk->first).second)
+        << "chunk " << chunk->first << " double-assigned";
+  }
+  EXPECT_EQ(bases.size(), 12u);
+  EXPECT_EQ(*bases.begin(), 1024u);
+  EXPECT_EQ(*bases.rbegin(), 3840u);
+}
+
+TEST(NatChunkRandom, StoredChunkMatchesAllocatedPortsAcrossPoolFailover) {
+  // Two pool addresses with 4 chunks each. Once a member's chunks fill,
+  // later subscribers fail over to the other member; the stored (pool
+  // index, chunk base) pair must keep matching the external endpoints that
+  // come out — the desync bug released the chunk on one member but left
+  // the subscriber record pointing at it.
+  NatConfig cfg;
+  cfg.port_allocation = PortAllocation::chunk_random;
+  cfg.chunk_size = 256;
+  cfg.port_min = 1024;
+  cfg.port_max = 2047;  // chunks 4..7 per pool member
+  const std::vector<netcore::Ipv4Address> pool{
+      netcore::Ipv4Address(198, 51, 100, 1),
+      netcore::Ipv4Address(198, 51, 100, 2)};
+  NatDevice nat(cfg, pool, sim::Rng(11));
+
+  // Observe every mapping as it is created.
+  std::map<std::uint32_t, std::vector<netcore::Endpoint>> externals;
+  nat.set_observer(
+      [&](netcore::Protocol, const netcore::Endpoint& internal,
+          const netcore::Endpoint& external, sim::SimTime) {
+        externals[internal.address.value()].push_back(external);
+      },
+      {});
+
+  // 8 subscribers x 3 flows (distinct source ports -> distinct mappings).
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    for (std::uint16_t f = 0; f < 3; ++f) {
+      sim::Packet pkt = sim::Packet::udp(
+          {subscriber_ip(i), static_cast<std::uint16_t>(6000 + f)}, kRemote);
+      ASSERT_EQ(nat.process_outbound(pkt, 0.0),
+                sim::Middlebox::Verdict::forward)
+          << "subscriber " << i << " flow " << f;
+    }
+  }
+  EXPECT_EQ(nat.stats().port_exhaustion_drops, 0u);
+
+  std::set<std::pair<std::uint32_t, std::uint16_t>> assigned;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    const auto ip = subscriber_ip(i);
+    auto chunk = nat.subscriber_chunk(ip);
+    ASSERT_TRUE(chunk.has_value());
+    const auto [base, size] = *chunk;
+    const auto& eps = externals.at(ip.value());
+    ASSERT_EQ(eps.size(), 3u);
+    for (const netcore::Endpoint& ep : eps) {
+      // Sticky pooling: one external address per subscriber...
+      EXPECT_EQ(ep.address, eps.front().address);
+      // ...and every port inside the recorded chunk.
+      EXPECT_GE(ep.port, base);
+      EXPECT_LT(std::uint32_t{ep.port}, std::uint32_t{base} + size);
+    }
+    EXPECT_TRUE(
+        assigned.emplace(eps.front().address.value(), base).second)
+        << "chunk reused across subscribers";
+  }
+  // Both pool members had to be used: 8 subscribers, 4 chunks per member.
+  std::set<std::uint32_t> addresses;
+  for (const auto& [addr, base] : assigned) addresses.insert(addr);
+  EXPECT_EQ(addresses.size(), 2u);
+
+  // The 9th subscriber is genuine exhaustion.
+  sim::Packet pkt = sim::Packet::udp({subscriber_ip(8), 6000}, kRemote);
+  EXPECT_NE(nat.process_outbound(pkt, 0.0),
+            sim::Middlebox::Verdict::forward);
+  EXPECT_EQ(nat.stats().port_exhaustion_drops, 1u);
+}
+
+}  // namespace
+}  // namespace cgn::nat

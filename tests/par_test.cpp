@@ -1,0 +1,201 @@
+// cgn::par — deterministic shard execution, RNG substreams, thread-scoped
+// clocks and metric-slot isolation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "par/thread_pool.hpp"
+#include "sim/clock.hpp"
+#include "sim/network.hpp"
+#include "sim/rng.hpp"
+
+namespace cgn {
+namespace {
+
+TEST(RunShards, ExecutesEveryShardExactlyOnce) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    std::vector<std::atomic<int>> hits(23);
+    par::run_shards(
+        hits.size(), [&](std::size_t s) { hits[s].fetch_add(1); }, threads);
+    for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(RunShards, ZeroShardsIsANoop) {
+  par::run_shards(0, [](std::size_t) { FAIL(); }, 4);
+}
+
+TEST(RunShards, SingleWorkerRunsInlineOnTheCallingThread) {
+  const auto caller = std::this_thread::get_id();
+  par::run_shards(
+      5, [&](std::size_t) { EXPECT_EQ(std::this_thread::get_id(), caller); },
+      1);
+}
+
+TEST(RunShards, AssignmentIsStaticRoundRobin) {
+  // Worker w holds metric slot w+1 for its lifetime, so the slot observed
+  // inside a shard identifies the worker it ran on: shard i must always be
+  // on worker i % workers, independent of timing.
+  constexpr std::size_t kWorkers = 4;
+  std::vector<std::size_t> slot_of(17, 0);
+  par::run_shards(
+      slot_of.size(),
+      [&](std::size_t s) { slot_of[s] = obs::thread_slot(); }, kWorkers);
+  for (std::size_t s = 0; s < slot_of.size(); ++s)
+    EXPECT_EQ(slot_of[s], s % kWorkers + 1) << "shard " << s;
+}
+
+TEST(RunShards, LowestShardExceptionWins) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    try {
+      par::run_shards(
+          8,
+          [&](std::size_t s) {
+            if (s == 3 || s == 6)
+              throw std::runtime_error("shard " + std::to_string(s));
+          },
+          threads);
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "shard 3");
+    }
+  }
+}
+
+TEST(RunShards, RemainingShardsStillRunAfterAThrow) {
+  std::vector<std::atomic<int>> hits(8);
+  EXPECT_THROW(par::run_shards(
+                   hits.size(),
+                   [&](std::size_t s) {
+                     hits[s].fetch_add(1);
+                     if (s == 0) throw std::runtime_error("boom");
+                   },
+                   2),
+               std::runtime_error);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ConfiguredThreads, ReadsAndClampsEnvironment) {
+  ASSERT_EQ(unsetenv("CGN_THREADS"), 0);
+  EXPECT_EQ(par::configured_threads(), 1u);
+  ASSERT_EQ(setenv("CGN_THREADS", "4", 1), 0);
+  EXPECT_EQ(par::configured_threads(), 4u);
+  ASSERT_EQ(setenv("CGN_THREADS", "0", 1), 0);
+  EXPECT_EQ(par::configured_threads(), 1u);
+  ASSERT_EQ(setenv("CGN_THREADS", "9999", 1), 0);
+  EXPECT_EQ(par::configured_threads(), obs::kMaxThreadSlots - 1);
+  ASSERT_EQ(setenv("CGN_THREADS", "garbage", 1), 0);
+  EXPECT_EQ(par::configured_threads(), 1u);
+  ASSERT_EQ(unsetenv("CGN_THREADS"), 0);
+}
+
+TEST(RngFork, SubstreamDependsOnlyOnSeedAndShard) {
+  // Deriving shard 5's stream must give the same values no matter how many
+  // other shards were derived first (static fork consumes no state).
+  auto first_draws = [](sim::Rng rng) {
+    std::vector<std::uint64_t> out;
+    for (int i = 0; i < 8; ++i) out.push_back(rng.uniform(0, ~0ull - 1));
+    return out;
+  };
+  const auto direct = first_draws(sim::Rng::fork(99, 5));
+  for (std::uint64_t other = 0; other < 10; ++other)
+    (void)sim::Rng::fork(99, other);
+  EXPECT_EQ(first_draws(sim::Rng::fork(99, 5)), direct);
+  EXPECT_NE(first_draws(sim::Rng::fork(99, 6)), direct);
+  EXPECT_NE(first_draws(sim::Rng::fork(100, 5)), direct);
+}
+
+TEST(ThreadClockScope, OverridesAndNests) {
+  sim::Clock global;
+  sim::Network net(global);
+  global.advance(100);
+  EXPECT_EQ(net.clock().now(), 100.0);
+  {
+    sim::Clock shard;
+    shard.set(500);
+    sim::ThreadClockScope outer(shard);
+    EXPECT_EQ(net.clock().now(), 500.0);
+    {
+      sim::Clock inner_clock;
+      inner_clock.set(900);
+      sim::ThreadClockScope inner(inner_clock);
+      EXPECT_EQ(net.clock().now(), 900.0);
+    }
+    EXPECT_EQ(net.clock().now(), 500.0);
+  }
+  EXPECT_EQ(net.clock().now(), 100.0);
+  EXPECT_EQ(sim::ThreadClockScope::current(), nullptr);
+}
+
+TEST(ThreadClockScope, IsThreadLocal) {
+  sim::Clock shard;
+  shard.set(42);
+  sim::ThreadClockScope scope(shard);
+  std::thread([] {
+    EXPECT_EQ(sim::ThreadClockScope::current(), nullptr);
+  }).join();
+}
+
+// Value-recording assertions only hold when the hot path is compiled in.
+#define CGN_SKIP_IF_METRICS_DISABLED()                                    \
+  if (!obs::kMetricsEnabled)                                              \
+  GTEST_SKIP() << "metrics compiled out (-DCGN_OBS=OFF)"
+
+TEST(MetricSlots, WorkerIncrementsMergeExactly) {
+  CGN_SKIP_IF_METRICS_DISABLED();
+  obs::Counter& c = obs::counter("par_test.merge_counter");
+  const std::uint64_t before = c.value();
+  par::run_shards(
+      12, [&](std::size_t s) { c.inc(s + 1); }, 4);
+  // 1 + 2 + ... + 12, regardless of which slot each increment landed in.
+  EXPECT_EQ(c.value() - before, 78u);
+}
+
+TEST(MetricSlots, NetworkStatsMergeAcrossWorkers) {
+  sim::Clock clock;
+  sim::Network net(clock);
+  const sim::NodeId host = net.add_node(net.root(), "h");
+  const netcore::Ipv4Address addr(16, 0, 0, 1);
+  net.add_local_address(host, addr);
+  net.register_address(addr, host, net.root());
+  net.set_receiver(host, [](sim::Network&, const sim::Packet&) {});
+  net.reset_stats();
+  par::run_shards(
+      8,
+      [&](std::size_t) {
+        (void)net.send(sim::Packet::udp({addr, 1}, {addr, 2}), host);
+      },
+      4);
+  // Each send self-delivers at the host's own address.
+  EXPECT_EQ(net.stats().sent, 8u);
+}
+
+TEST(MetricsRegistry, MergeFromFoldsValuesAndCreatesMissing) {
+  CGN_SKIP_IF_METRICS_DISABLED();
+  obs::MetricsRegistry a;
+  obs::MetricsRegistry b;
+  a.counter("shared").inc(2);
+  b.counter("shared").inc(5);
+  b.counter("only_b").inc(7);
+  b.gauge("level").add(-3);
+  b.histogram("h", {1, 2, 4}).observe_small(3);
+  a.merge_from(b);
+  EXPECT_EQ(a.counter("shared").value(), 7u);
+  EXPECT_EQ(a.counter("only_b").value(), 7u);
+  EXPECT_EQ(a.gauge("level").value(), -3);
+  obs::Histogram& h = a.histogram("h", {1, 2, 4});
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum(), 3.0);
+  // b is untouched.
+  EXPECT_EQ(b.counter("shared").value(), 5u);
+}
+
+}  // namespace
+}  // namespace cgn
