@@ -10,6 +10,7 @@
 // merged obs totals are bit-identical for every N (see cgn::par).
 #pragma once
 
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -21,6 +22,8 @@
 #include "analysis/bt_detector.hpp"
 #include "analysis/coverage.hpp"
 #include "analysis/netalyzr_detector.hpp"
+#include "fault/fault.hpp"
+#include "fault/retry.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "par/thread_pool.hpp"
@@ -40,6 +43,36 @@ inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
   return v ? static_cast<std::uint64_t>(std::atoll(v)) : fallback;
 }
 
+/// The impairment scenario, from the environment. All-zero defaults give
+/// the inactive plan (clean runs identical to a no-fault build).
+/// CGN_FAULT_LOSS / CGN_FAULT_DUP are per-hop / per-delivery rates;
+/// CGN_FAULT_UNRESP the deaf-BT-peer fraction; CGN_FAULT_RESTART_S and the
+/// CGN_FAULT_PRESSURE_* knobs drive the CGN device faults.
+inline fault::FaultPlan fault_plan_from_env() {
+  fault::FaultPlan plan;
+  plan.seed = env_u64("CGN_FAULT_SEED", plan.seed);
+  plan.link.loss_rate = env_double("CGN_FAULT_LOSS", 0.0);
+  plan.link.duplication_rate = env_double("CGN_FAULT_DUP", 0.0);
+  plan.peers.unresponsive_fraction = env_double("CGN_FAULT_UNRESP", 0.0);
+  plan.nat.restart_period_s = env_double("CGN_FAULT_RESTART_S", 0.0);
+  plan.nat.pressure_period_s = env_double("CGN_FAULT_PRESSURE_S", 0.0);
+  plan.nat.pressure_duration_s = env_double("CGN_FAULT_PRESSURE_DUR_S", 0.0);
+  plan.nat.pressure_reserve_fraction =
+      env_double("CGN_FAULT_PRESSURE_RESERVE", 0.0);
+  return plan;
+}
+
+/// Probe retransmission policy, from the environment. The default
+/// (CGN_RETRY_ATTEMPTS=1) is the original fire-once behaviour.
+inline fault::RetryPolicy retry_policy_from_env() {
+  fault::RetryPolicy retry;
+  retry.attempts = static_cast<int>(env_u64("CGN_RETRY_ATTEMPTS", 1));
+  retry.base_backoff_s = env_double("CGN_RETRY_BACKOFF_S", 1.0);
+  retry.backoff_factor = env_double("CGN_RETRY_FACTOR", 2.0);
+  retry.jitter_fraction = env_double("CGN_RETRY_JITTER", 0.0);
+  return retry;
+}
+
 /// The calibrated world, scaled. Scale 1.0 is a 1:8 model of the paper's
 /// Internet (6,500 routed ASes, 360 PBL eyeballs, ...).
 inline scenario::InternetConfig scaled_config() {
@@ -54,6 +87,7 @@ inline scenario::InternetConfig scaled_config() {
   cfg.pbl_eyeballs = scaled(cfg.pbl_eyeballs);
   cfg.apnic_eyeballs = scaled(cfg.apnic_eyeballs);
   cfg.cellular_ases = scaled(cfg.cellular_ases);
+  cfg.fault_plan = fault_plan_from_env();
   return cfg;
 }
 
@@ -86,6 +120,7 @@ class World {
       scenario::NetalyzrCampaignConfig cfg;
       cfg.enum_fraction = enum_fraction;
       cfg.stun_fraction = stun_fraction;
+      cfg.retry = retry_policy_from_env();
       sessions_ = scenario::run_netalyzr_campaign(*internet_, cfg);
       sessions_run_ = true;
     }
@@ -113,7 +148,9 @@ class World {
   void ensure_crawl() {
     if (!crawler_) {
       scenario::run_bittorrent_phase(*internet_);
-      crawler_ = scenario::run_crawl_phase(*internet_);
+      scenario::CrawlPhaseConfig cfg;
+      cfg.crawl.retry = retry_policy_from_env();
+      crawler_ = scenario::run_crawl_phase(*internet_, cfg);
     }
   }
 
@@ -154,7 +191,23 @@ inline void write_bench_json(const std::string& name, const Figures& figures) {
   obs::json_escape(os, name);
   os << ",\"scale\":" << env_double("CGN_BENCH_SCALE", 0.4)
      << ",\"seed\":" << env_u64("CGN_BENCH_SEED", 42)
-     << ",\"threads\":" << par::configured_threads() << ",\"figures\":{";
+     << ",\"threads\":" << par::configured_threads();
+  // Provenance: which impairment scenario and retransmission policy were
+  // active, so trajectories can tell clean runs from ablations.
+  {
+    const fault::FaultPlan plan = fault_plan_from_env();
+    const fault::RetryPolicy retry = retry_policy_from_env();
+    char hex[17];
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(plan.hash()));
+    os << ",\"fault_plan_hash\":\"" << hex << '"'
+       << ",\"fault_plan_active\":" << (plan.active() ? "true" : "false")
+       << ",\"retry\":{\"attempts\":" << retry.attempts
+       << ",\"base_backoff_s\":" << retry.base_backoff_s
+       << ",\"backoff_factor\":" << retry.backoff_factor
+       << ",\"jitter_fraction\":" << retry.jitter_fraction << '}';
+  }
+  os << ",\"figures\":{";
   bool first = true;
   for (const auto& [key, value] : figures) {
     if (!first) os << ',';

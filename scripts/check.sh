@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 gate: configure + build + full ctest, then the same test suite
-# under ASan+UBSan (-DCGN_SANITIZE=ON) in a separate build tree.
+# under ASan+UBSan (-DCGN_SANITIZE=ON) and the parallel-campaign tests
+# under TSan (-DCGN_SANITIZE=thread), each in a separate build tree.
 #
 # Usage: scripts/check.sh [--no-sanitize]
 set -euo pipefail
@@ -27,6 +28,13 @@ if [[ "$SANITIZE" == 1 ]]; then
   cmake -B build-asan -S . -DCGN_SANITIZE=ON >/dev/null
   cmake --build build-asan -j --target cgn_tests
   ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
+
+  echo "== sanitizers: TSan build + parallel-campaign ctest (build-tsan/) =="
+  cmake -B build-tsan -S . -DCGN_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j --target cgn_tests
+  CGN_THREADS=4 ctest --test-dir build-tsan --output-on-failure \
+    -R 'RunShards|ConfiguredThreads|RngFork|ThreadClockScope|CampaignParallel|Fault' \
+    -j "$(nproc)"
 fi
 
 echo "== check.sh: all green =="

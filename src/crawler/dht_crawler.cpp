@@ -59,21 +59,29 @@ void DhtCrawler::handle(sim::Network& net, const sim::Packet& pkt) {
 
 std::optional<std::vector<dht::Contact>> DhtCrawler::query(
     sim::Network& net, const dht::Contact& peer) {
-  std::uint64_t tx = next_tx_++;
-  awaiting_tx_ = tx;
-  reply_contacts_.reset();
-  dht::NodeId160 target = dht::NodeId160::random(rng_);
-  sim::Packet pkt = sim::Packet::udp(local_, peer.endpoint);
-  pkt.payload = dht::Message{dht::FindNodesMsg{tx, id_, target}};
-  ++stats_.find_nodes_sent;
-  g_find_nodes_sent.inc();
-  net.send(std::move(pkt), host_);
-  awaiting_tx_ = 0;
-  if (reply_contacts_) {
+  // Each attempt is a fresh query: new tx, new random target. A lost reply
+  // costs one backoff interval on the retry clock's scoped timeline.
+  std::optional<std::vector<dht::Contact>> reply;
+  fault::retry_loop(config_.retry, retry_clock_, &rng_, [&] {
+    std::uint64_t tx = next_tx_++;
+    awaiting_tx_ = tx;
+    reply_contacts_.reset();
+    dht::NodeId160 target = dht::NodeId160::random(rng_);
+    sim::Packet pkt = sim::Packet::udp(local_, peer.endpoint);
+    pkt.payload = dht::Message{dht::FindNodesMsg{tx, id_, target}};
+    ++stats_.find_nodes_sent;
+    g_find_nodes_sent.inc();
+    net.send(std::move(pkt), host_);
+    awaiting_tx_ = 0;
+    if (!reply_contacts_) return false;
+    reply = std::move(reply_contacts_);
+    return true;
+  });
+  if (reply) {
     ++stats_.find_nodes_answered;
     g_find_nodes_answered.inc();
   }
-  return std::move(reply_contacts_);
+  return reply;
 }
 
 void DhtCrawler::record_contacts(const dht::Contact& from,
@@ -150,16 +158,19 @@ std::size_t DhtCrawler::ping_step(sim::Network& net, std::size_t budget) {
   std::size_t issued = 0;
   while (issued < budget && ping_cursor_ < ping_queue_.size()) {
     const dht::Contact& peer = ping_queue_[ping_cursor_++];
-    std::uint64_t tx = next_tx_++;
-    awaiting_tx_ = tx;
-    pong_tx_.reset();
-    sim::Packet pkt = sim::Packet::udp(local_, peer.endpoint);
-    pkt.payload = dht::Message{dht::PingMsg{tx, id_}};
-    ++stats_.pings_sent;
-    g_pings_sent.inc();
-    net.send(std::move(pkt), host_);
-    awaiting_tx_ = 0;
-    if (pong_tx_) {
+    const bool pong = fault::retry_loop(config_.retry, retry_clock_, &rng_, [&] {
+      std::uint64_t tx = next_tx_++;
+      awaiting_tx_ = tx;
+      pong_tx_.reset();
+      sim::Packet pkt = sim::Packet::udp(local_, peer.endpoint);
+      pkt.payload = dht::Message{dht::PingMsg{tx, id_}};
+      ++stats_.pings_sent;
+      g_pings_sent.inc();
+      net.send(std::move(pkt), host_);
+      awaiting_tx_ = 0;
+      return pong_tx_.has_value();
+    });
+    if (pong) {
       g_pongs_received.inc();
       data_.note_ping_response(peer);
     }
@@ -170,7 +181,7 @@ std::size_t DhtCrawler::ping_step(sim::Network& net, std::size_t budget) {
 
 DhtCrawler::PingShardOutcome DhtCrawler::ping_shard(
     sim::Network& net, std::span<const dht::Contact> contacts,
-    std::size_t shard_id) {
+    std::size_t shard_id, sim::Clock* clock, sim::Rng* rng) {
   PingShardOutcome out;
   if (!config_.ping_learned) return out;
   PingCtx ctx;
@@ -179,16 +190,19 @@ DhtCrawler::PingShardOutcome DhtCrawler::ping_shard(
   // counter's range, so no two in-flight pings ever share an id.
   std::uint64_t k = 0;
   for (const dht::Contact& peer : contacts) {
-    const std::uint64_t tx = ((shard_id + 1) << 32) | ++k;
-    ctx.awaiting = tx;
-    ctx.got_pong = false;
-    sim::Packet pkt = sim::Packet::udp(local_, peer.endpoint);
-    pkt.payload = dht::Message{dht::PingMsg{tx, id_}};
-    ++out.pings_sent;
-    g_pings_sent.inc();
-    net.send(std::move(pkt), host_);
-    ctx.awaiting = 0;
-    if (ctx.got_pong) {
+    const bool pong = fault::retry_loop(config_.retry, clock, rng, [&] {
+      const std::uint64_t tx = ((shard_id + 1) << 32) | ++k;
+      ctx.awaiting = tx;
+      ctx.got_pong = false;
+      sim::Packet pkt = sim::Packet::udp(local_, peer.endpoint);
+      pkt.payload = dht::Message{dht::PingMsg{tx, id_}};
+      ++out.pings_sent;
+      g_pings_sent.inc();
+      net.send(std::move(pkt), host_);
+      ctx.awaiting = 0;
+      return ctx.got_pong;
+    });
+    if (pong) {
       ++out.pongs_received;
       g_pongs_received.inc();
       out.responders.push_back(peer);

@@ -15,6 +15,8 @@
 
 #include "crawler/crawl_dataset.hpp"
 #include "dht/dht_node.hpp"
+#include "fault/retry.hpp"
+#include "sim/clock.hpp"
 #include "sim/network.hpp"
 #include "sim/rng.hpp"
 
@@ -33,6 +35,9 @@ struct CrawlConfig {
   /// Virtual seconds the driver should advance between crawl steps; the
   /// crawler itself never advances the clock.
   sim::SimTime step_interval_s = 0.0;
+  /// Retransmission policy for find_nodes queries and bt_pings. The default
+  /// (attempts = 1) sends once and never retries — the pre-fault behaviour.
+  fault::RetryPolicy retry;
 };
 
 /// Counters describing crawler activity (not the harvested data).
@@ -50,6 +55,11 @@ class DhtCrawler {
 
   /// Installs the crawler's receiver on its host node.
   void install(sim::Network& net);
+
+  /// Clock the retry policy's backoff advances during serial phases (the
+  /// crawl walk and ping_step). Null disables backoff time; parallel sweep
+  /// shards pass their private clock to ping_shard instead.
+  void set_retry_clock(sim::Clock* clock) noexcept { retry_clock_ = clock; }
 
   /// Seeds the frontier from the bootstrap server.
   void start(sim::Network& net, const netcore::Endpoint& bootstrap);
@@ -82,9 +92,13 @@ class DhtCrawler {
   /// not mutate stats_ or the dataset — the campaign driver absorbs the
   /// outcomes in shard order after the barrier. Contact lists must target
   /// disjoint routing subtrees (see Network::top_route).
+  /// `clock`/`rng` drive the retry policy's backoff and jitter for this
+  /// shard (both may be null; pass the shard's private clock and a
+  /// substream keyed on shard_id to stay thread-count invariant).
   [[nodiscard]] PingShardOutcome ping_shard(
       sim::Network& net, std::span<const dht::Contact> contacts,
-      std::size_t shard_id);
+      std::size_t shard_id, sim::Clock* clock = nullptr,
+      sim::Rng* rng = nullptr);
 
   /// Folds shard outcomes into stats() and dataset() in the given order.
   void absorb_ping_outcomes(std::span<const PingShardOutcome> outcomes);
@@ -110,6 +124,7 @@ class DhtCrawler {
   netcore::Endpoint local_;
   CrawlConfig config_;
   sim::Rng rng_;
+  sim::Clock* retry_clock_ = nullptr;
   dht::NodeId160 id_;
 
   CrawlDataset data_;

@@ -195,13 +195,17 @@ void DhtNode::run_maintenance(sim::Network& net) {
     }
   }
 
-  // Validate unvalidated candidates.
+  // Validate unvalidated candidates. Index-based on purpose: the pong comes
+  // back synchronously inside send_ping and its handler may add_candidate
+  // (a same-NAT peer answering from its internal endpoint), growing table_
+  // and invalidating any reference held across the call.
   int budget = config_.pings_per_round;
-  for (Entry& e : table_) {
+  for (std::size_t i = 0; i < table_.size(); ++i) {
     if (budget <= 0) break;
-    if (e.validated || e.ping_inflight) continue;
-    e.ping_inflight = true;
-    send_ping(net, e.contact);
+    if (table_[i].validated || table_[i].ping_inflight) continue;
+    table_[i].ping_inflight = true;
+    const Contact contact = table_[i].contact;
+    send_ping(net, contact);
     --budget;
   }
 

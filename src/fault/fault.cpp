@@ -1,0 +1,104 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+namespace cgn::fault {
+
+namespace {
+
+// File-scope metric handles: resolved once, bumped with one relaxed add.
+obs::Counter& g_injected_loss = obs::counter("fault.injected_loss");
+obs::Counter& g_injected_dup = obs::counter("fault.injected_duplication");
+obs::Counter& g_retries = obs::counter("fault.retries");
+obs::Counter& g_retry_recoveries = obs::counter("fault.retry_recoveries");
+obs::Counter& g_retry_exhausted = obs::counter("fault.retry_exhausted");
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t mix_salt(std::uint64_t seed, std::uint64_t salt) {
+  return seed ^ (0x9e3779b97f4a7c15ull * (salt + 1));
+}
+
+}  // namespace
+
+std::string FaultPlan::describe() const {
+  std::ostringstream os;
+  os.precision(12);
+  os << "seed=" << seed << " loss=" << link.loss_rate
+     << " dup=" << link.duplication_rate
+     << " unresponsive=" << peers.unresponsive_fraction;
+  // Canonical order for the per-AS overrides so the hash is stable.
+  std::vector<std::pair<std::uint32_t, double>> overrides(peers.by_as.begin(),
+                                                          peers.by_as.end());
+  std::sort(overrides.begin(), overrides.end());
+  for (const auto& [asn, rate] : overrides)
+    os << " unresponsive[AS" << asn << "]=" << rate;
+  os << " restart_period=" << nat.restart_period_s
+     << " pressure_period=" << nat.pressure_period_s
+     << " pressure_duration=" << nat.pressure_duration_s
+     << " pressure_reserve=" << nat.pressure_reserve_fraction;
+  return os.str();
+}
+
+std::uint64_t FaultPlan::hash() const { return fnv1a(describe()); }
+
+thread_local sim::Rng* FaultInjector::t_stream_ = nullptr;
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(plan),
+      serial_stream_(sim::Rng::fork(mix_salt(plan.seed, kSaltSerial), 0)) {}
+
+sim::Rng FaultInjector::substream(std::uint64_t salt,
+                                  std::uint64_t shard) const {
+  return sim::Rng::fork(mix_salt(plan_.seed, salt), shard);
+}
+
+bool FaultInjector::drop_at_hop() {
+  if (plan_.link.loss_rate <= 0) return false;
+  if (!stream().chance(plan_.link.loss_rate)) return false;
+  g_injected_loss.inc();
+  return true;
+}
+
+bool FaultInjector::duplicate_delivery() {
+  if (plan_.link.duplication_rate <= 0) return false;
+  if (!stream().chance(plan_.link.duplication_rate)) return false;
+  g_injected_dup.inc();
+  return true;
+}
+
+void FaultInjector::mark_unresponsive(std::uint32_t node, std::uint16_t port) {
+  unresponsive_.insert((std::uint64_t{node} << 16) | port);
+}
+
+StreamScope::StreamScope(const FaultInjector* injector, std::uint64_t salt,
+                         std::uint64_t shard)
+    : active_(injector != nullptr && injector->active()),
+      rng_(active_ ? injector->substream(salt, shard) : sim::Rng(0)),
+      prev_(FaultInjector::t_stream_) {
+  if (active_) FaultInjector::t_stream_ = &rng_;
+}
+
+StreamScope::~StreamScope() {
+  if (active_) FaultInjector::t_stream_ = prev_;
+}
+
+namespace detail {
+
+void note_retry() { g_retries.inc(); }
+void note_retry_recovery() { g_retry_recoveries.inc(); }
+void note_retry_exhausted() { g_retry_exhausted.inc(); }
+
+}  // namespace detail
+
+}  // namespace cgn::fault

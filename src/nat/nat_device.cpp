@@ -1,6 +1,7 @@
 #include "nat/nat_device.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
@@ -26,6 +27,9 @@ obs::Counter& g_inbound_no_mapping = obs::counter("nat.inbound_no_mapping");
 obs::Counter& g_hairpins_forwarded = obs::counter("nat.hairpins_forwarded");
 obs::Counter& g_hairpins_dropped = obs::counter("nat.hairpins_dropped");
 obs::Counter& g_port_exhaustion = obs::counter("nat.port_exhaustion_drops");
+obs::Counter& g_fault_restarts = obs::counter("nat.fault_restarts");
+obs::Counter& g_restart_flushed = obs::counter("nat.fault_restart_flushed");
+obs::Counter& g_pressure_drops = obs::counter("nat.fault_pressure_drops");
 obs::Gauge& g_active_mappings = obs::gauge("nat.active_mappings");
 obs::Gauge& g_ports_in_use = obs::gauge("nat.ports_in_use");
 obs::Gauge& g_port_capacity = obs::gauge("nat.port_capacity");
@@ -122,6 +126,66 @@ bool NatDevice::owns_external(netcore::Ipv4Address a) const {
   return pool_index_.contains(a);
 }
 
+void NatDevice::set_fault_profile(const fault::NatFaults& faults,
+                                  double restart_phase_s,
+                                  double pressure_phase_s) {
+  faults_ = faults;
+  restart_phase_s_ = restart_phase_s;
+  pressure_phase_s_ = pressure_phase_s;
+  restart_epoch_ = 0;
+}
+
+void NatDevice::maybe_restart(sim::SimTime now) {
+  if (faults_.restart_period_s <= 0) return;
+  const double t = now - restart_phase_s_;
+  const auto epoch =
+      t <= 0 ? std::int64_t{0}
+             : static_cast<std::int64_t>(t / faults_.restart_period_s);
+  if (epoch <= restart_epoch_) return;
+  // Collapse any number of missed boundaries into one flush: a device that
+  // rebooted twice while idle looks, at the next packet, exactly like one
+  // that rebooted once.
+  restart_epoch_ = epoch;
+  reset_state(now);
+}
+
+void NatDevice::reset_state(sim::SimTime now) {
+  // Close every live record in the operator's translation log before the
+  // state vanishes; a real syslog-based TranslationLog would see the same
+  // burst of teardown records when a CGN reboots.
+  if (on_expired_)
+    for (const auto& [key, m] : mappings_)
+      on_expired_(key.proto, m.external, m.created_at, now);
+  ++stats_.restarts;
+  g_fault_restarts.inc();
+  stats_.restart_flushed_mappings += mappings_.size();
+  g_restart_flushed.inc(mappings_.size());
+
+  g_active_mappings.sub(static_cast<std::int64_t>(mappings_.size()));
+  std::int64_t ports = 0;
+  for (const auto& used : used_ports_udp_) ports += used.size();
+  for (const auto& used : used_ports_tcp_) ports += used.size();
+  g_ports_in_use.sub(ports);
+
+  mappings_.clear();
+  by_external_.clear();
+  for (auto& used : used_ports_udp_) used.clear();
+  for (auto& used : used_ports_tcp_) used.clear();
+  seq_cursor_.assign(pool_.size(), config_.port_min);
+  paired_pool_.clear();
+  subscriber_chunks_.clear();
+  for (auto& taken : chunks_taken_) taken.clear();
+}
+
+bool NatDevice::pressure_active(sim::SimTime now) const {
+  if (faults_.pressure_period_s <= 0 || faults_.pressure_duration_s <= 0)
+    return false;
+  const double t = now - pressure_phase_s_;
+  if (t < 0) return false;
+  return std::fmod(t, faults_.pressure_period_s) <
+         faults_.pressure_duration_s;
+}
+
 void NatDevice::note_contact(Mapping& m, const netcore::Endpoint& dst) {
   switch (config_.mapping) {
     case MappingType::address_restricted:
@@ -211,11 +275,22 @@ std::size_t NatDevice::pick_pool_index(netcore::Ipv4Address internal_ip) {
 
 std::optional<std::uint16_t> NatDevice::allocate_port(
     std::size_t pool_index, netcore::Protocol proto,
-    std::uint16_t internal_port, netcore::Ipv4Address internal_ip) {
+    std::uint16_t internal_port, netcore::Ipv4Address internal_ip,
+    sim::SimTime now) {
   auto& used = proto == netcore::Protocol::udp ? used_ports_udp_[pool_index]
                                                : used_ports_tcp_[pool_index];
   const std::uint32_t lo = config_.port_min;
-  const std::uint32_t hi = config_.port_max;
+  std::uint32_t hi = config_.port_max;
+  // During a pressure window the top reserve share of the range is blocked
+  // (operator maintenance holding ports back); outside windows hi is the
+  // configured maximum and the code below behaves exactly as before.
+  if (pressure_active(now)) {
+    const auto usable = static_cast<std::uint32_t>(
+        (1.0 - faults_.pressure_reserve_fraction) *
+        static_cast<double>(hi - lo + 1));
+    if (usable == 0) return std::nullopt;
+    hi = lo + usable - 1;
+  }
   const std::uint32_t range = hi - lo + 1;
 
   auto seq_scan = [&](std::uint32_t start) -> std::optional<std::uint16_t> {
@@ -240,7 +315,9 @@ std::optional<std::uint16_t> NatDevice::allocate_port(
       return seq_scan(start);
     }
     case PortAllocation::sequential: {
-      auto port = seq_scan(seq_cursor_[pool_index]);
+      std::uint32_t cursor = seq_cursor_[pool_index];
+      if (cursor > hi) cursor = lo;  // cursor parked in the blocked share
+      auto port = seq_scan(cursor);
       if (port) {
         std::uint32_t next = static_cast<std::uint32_t>(*port) + 1;
         seq_cursor_[pool_index] = next > hi ? lo : next;
@@ -262,11 +339,11 @@ std::optional<std::uint16_t> NatDevice::allocate_port(
       const std::uint32_t cs = config_.chunk_size;
       for (int attempt = 0; attempt < 32; ++attempt) {
         auto p = static_cast<std::uint16_t>(base + rng_.index(cs));
-        if (!used.contains(p)) return p;
+        if (p <= hi && !used.contains(p)) return p;
       }
       for (std::uint32_t i = 0; i < cs; ++i) {
         auto p = static_cast<std::uint16_t>(base + i);
-        if (!used.contains(p)) return p;
+        if (p <= hi && !used.contains(p)) return p;
       }
       return std::nullopt;  // the subscriber's chunk is exhausted
     }
@@ -328,7 +405,7 @@ NatDevice::Mapping* NatDevice::create_mapping(const OutKey& key,
                                                         *chunk * cs)))
                  .first;
         port = allocate_port(candidate, key.proto, key.internal.port,
-                             internal_ip);
+                             internal_ip, now);
         if (port) {
           pool_idx = candidate;
         } else {
@@ -340,20 +417,26 @@ NatDevice::Mapping* NatDevice::create_mapping(const OutKey& key,
       if (it == subscriber_chunks_.end()) {
         ++stats_.port_exhaustion_drops;
         g_port_exhaustion.inc();
+        if (pressure_active(now)) {
+          ++stats_.pressure_drops;
+          g_pressure_drops.inc();
+        }
         return nullptr;
       }
     } else {
       pool_idx = it->second.first;
-      port = allocate_port(pool_idx, key.proto, key.internal.port, internal_ip);
+      port = allocate_port(pool_idx, key.proto, key.internal.port, internal_ip,
+                           now);
     }
   } else {
     pool_idx = pick_pool_index(internal_ip);
-    port = allocate_port(pool_idx, key.proto, key.internal.port, internal_ip);
+    port = allocate_port(pool_idx, key.proto, key.internal.port, internal_ip,
+                         now);
     if (!port && config_.pooling == Pooling::arbitrary) {
       for (std::size_t off = 1; off < pool_.size() && !port; ++off) {
         pool_idx = (pool_idx + 1) % pool_.size();
         port = allocate_port(pool_idx, key.proto, key.internal.port,
-                             internal_ip);
+                             internal_ip, now);
       }
     }
   }
@@ -361,6 +444,10 @@ NatDevice::Mapping* NatDevice::create_mapping(const OutKey& key,
   if (!port) {
     ++stats_.port_exhaustion_drops;
     g_port_exhaustion.inc();
+    if (pressure_active(now)) {
+      ++stats_.pressure_drops;
+      g_pressure_drops.inc();
+    }
     return nullptr;
   }
 
@@ -406,6 +493,7 @@ void NatDevice::track_tcp(Mapping& m, const sim::Packet& pkt, bool inbound) {
 
 sim::Middlebox::Verdict NatDevice::process_outbound(sim::Packet& pkt,
                                                     sim::SimTime now) {
+  maybe_restart(now);
   OutKey key{pkt.proto, pkt.src,
              config_.mapping == MappingType::symmetric ? pkt.dst
                                                        : netcore::Endpoint{}};
@@ -425,6 +513,7 @@ sim::Middlebox::Verdict NatDevice::process_outbound(sim::Packet& pkt,
 
 sim::Middlebox::Verdict NatDevice::process_inbound(sim::Packet& pkt,
                                                    sim::SimTime now) {
+  maybe_restart(now);
   Mapping* m = find_in(pkt.proto, pkt.dst, now);
   if (!m) {
     ++stats_.inbound_no_mapping;
@@ -501,6 +590,7 @@ void NatDevice::collect_garbage(sim::SimTime now) {
 std::optional<netcore::Endpoint> NatDevice::add_static_mapping(
     netcore::Protocol proto, const netcore::Endpoint& internal,
     sim::SimTime now) {
+  maybe_restart(now);
   // Static mappings are endpoint-independent by definition, so the key uses
   // the zero remote even on an otherwise-symmetric NAT.
   OutKey key{proto, internal, netcore::Endpoint{}};

@@ -21,8 +21,8 @@ obs::Counter& g_enum_experiments = obs::counter("netalyzr.enum_experiments");
 }  // namespace
 
 NetalyzrClient::NetalyzrClient(ClientContext context, sim::PortDemux& demux,
-                               sim::Rng rng)
-    : ctx_(context), demux_(&demux), rng_(std::move(rng)) {
+                               sim::Rng rng, fault::RetryPolicy retry)
+    : ctx_(context), demux_(&demux), rng_(std::move(rng)), retry_(retry) {
   ephemeral_cursor_ = static_cast<std::uint16_t>(
       rng_.uniform(kEphemeralLo, kEphemeralHi));
 }
@@ -64,7 +64,8 @@ void NetalyzrClient::handle(sim::Network&, const sim::Packet& pkt) {
 }
 
 SessionResult NetalyzrClient::run_basic(sim::Network& net,
-                                        NetalyzrServer& server) {
+                                        NetalyzrServer& server,
+                                        sim::Clock* clock) {
   g_sessions.inc();
   SessionResult result;
   result.asn = ctx_.asn;
@@ -75,20 +76,24 @@ SessionResult NetalyzrClient::run_basic(sim::Network& net,
     result.cpe_model = ctx_.upnp_cpe->config().name;
   }
 
-  // Ten sequential TCP flows to the echo server (§6.2).
+  // Ten sequential TCP flows to the echo server (§6.2). A flow whose reply
+  // is lost retransmits from the same local port (same socket, new tx),
+  // paying backoff on the session clock.
   for (int i = 0; i < 10; ++i) {
     std::uint16_t port = next_ephemeral_port();
     bind(port);
-    std::uint64_t tx = next_tx_++;
-    last_echo_.reset();
-    sim::Packet pkt = sim::Packet::tcp({ctx_.device_address, port},
-                                       server.echo_endpoint());
-    pkt.payload = NetalyzrMessage{EchoRequest{tx}};
-    net.send(std::move(pkt), ctx_.host);
-    if (last_echo_ && last_echo_->tx == tx) {
+    fault::retry_loop(retry_, clock, &rng_, [&] {
+      std::uint64_t tx = next_tx_++;
+      last_echo_.reset();
+      sim::Packet pkt = sim::Packet::tcp({ctx_.device_address, port},
+                                         server.echo_endpoint());
+      pkt.payload = NetalyzrMessage{EchoRequest{tx}};
+      net.send(std::move(pkt), ctx_.host);
+      if (!(last_echo_ && last_echo_->tx == tx)) return false;
       result.tcp_flows.push_back(FlowObservation{port, last_echo_->observed});
       if (!result.ip_pub) result.ip_pub = last_echo_->observed.address;
-    }
+      return true;
+    });
   }
   return result;
 }
@@ -111,12 +116,17 @@ std::optional<bool> NetalyzrClient::reachability_experiment(
   bind(port);
   const netcore::Endpoint local{ctx_.device_address, port};
 
-  // (a) Initialization packet: creates NAT state on every hop.
-  last_ack_.reset();
-  sim::Packet init = sim::Packet::udp(local, server.udp_endpoint());
-  init.payload = NetalyzrMessage{UdpInit{flow}};
-  net.send(std::move(init), ctx_.host);
-  if (!last_ack_ || last_ack_->flow != flow) return std::nullopt;
+  // (a) Initialization packet: creates NAT state on every hop. Lost inits
+  // retransmit immediately (null clock): sub-second retries must not eat
+  // into the idle interval under measurement.
+  const bool acked = fault::retry_loop(retry_, nullptr, nullptr, [&] {
+    last_ack_.reset();
+    sim::Packet init = sim::Packet::udp(local, server.udp_endpoint());
+    init.payload = NetalyzrMessage{UdpInit{flow}};
+    net.send(std::move(init), ctx_.host);
+    return last_ack_ && last_ack_->flow == flow;
+  });
+  if (!acked) return std::nullopt;
 
   // (b) TTL-limited keepalives from both ends during the idle period.
   // ttl_c = hop dies exactly at the hop under test, refreshing hops 1..h-1;
@@ -135,10 +145,17 @@ std::optional<bool> NetalyzrClient::reachability_experiment(
   }
   clock.advance(tidle - elapsed);
 
-  // (c) Full-TTL reachability probe from the server.
-  const std::uint64_t seq = next_tx_++;
-  server.send_probe(net, flow, seq);
-  return received_probes_.contains(FlowKey{flow, seq});
+  // (c) Full-TTL reachability probe from the server, re-issued with a fresh
+  // sequence number if lost in transit. An expired mapping stays expired on
+  // re-probe, so retries repair link loss without masking NAT state.
+  bool reached = false;
+  fault::retry_loop(retry_, nullptr, nullptr, [&] {
+    const std::uint64_t seq = next_tx_++;
+    server.send_probe(net, flow, seq);
+    reached = received_probes_.contains(FlowKey{flow, seq});
+    return reached;
+  });
+  return reached;
 }
 
 void NetalyzrClient::run_enumeration(sim::Network& net, sim::Clock& clock,
@@ -155,13 +172,18 @@ void NetalyzrClient::run_enumeration(sim::Network& net, sim::Clock& clock,
     const std::uint64_t flow = rng_.uniform(1, ~std::uint64_t{0} - 1);
     const std::uint16_t port = next_ephemeral_port();
     bind(port);
-    last_ack_.reset();
-    sim::Packet init =
-        sim::Packet::udp({ctx_.device_address, port}, server.udp_endpoint(), ttl);
-    init.payload = NetalyzrMessage{UdpInit{flow}};
-    net.send(std::move(init), ctx_.host);
+    // A lost init would misread the path length; retransmit immediately
+    // (null clock) so the TTL ladder's timing is undisturbed.
+    const bool acked = fault::retry_loop(retry_, nullptr, nullptr, [&] {
+      last_ack_.reset();
+      sim::Packet init = sim::Packet::udp({ctx_.device_address, port},
+                                          server.udp_endpoint(), ttl);
+      init.payload = NetalyzrMessage{UdpInit{flow}};
+      net.send(std::move(init), ctx_.host);
+      return last_ack_ && last_ack_->flow == flow;
+    });
     ++out.experiments;
-    if (last_ack_ && last_ack_->flow == flow) {
+    if (acked) {
       path_hops = ttl - 1;
       break;
     }

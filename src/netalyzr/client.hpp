@@ -16,6 +16,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "fault/retry.hpp"
 #include "nat/nat_device.hpp"
 #include "netalyzr/messages.hpp"
 #include "netalyzr/server.hpp"
@@ -49,15 +50,21 @@ struct TtlEnumConfig {
 
 class NetalyzrClient {
  public:
-  NetalyzrClient(ClientContext context, sim::PortDemux& demux, sim::Rng rng);
+  /// `retry` is the probe retransmission policy; the default (attempts = 1)
+  /// reproduces the original fire-once client exactly.
+  NetalyzrClient(ClientContext context, sim::PortDemux& demux, sim::Rng rng,
+                 fault::RetryPolicy retry = {});
   ~NetalyzrClient();
 
   NetalyzrClient(const NetalyzrClient&) = delete;
   NetalyzrClient& operator=(const NetalyzrClient&) = delete;
 
   /// Address + port-translation tests. Always the first call of a session.
+  /// `clock` (may be null) absorbs the retry policy's backoff when an echo
+  /// flow needs retransmitting; pass the session's per-shard clock.
   [[nodiscard]] SessionResult run_basic(sim::Network& net,
-                                        NetalyzrServer& server);
+                                        NetalyzrServer& server,
+                                        sim::Clock* clock = nullptr);
 
   /// STUN classification; stores the outcome into `result`.
   void run_stun(sim::Network& net, const stun::StunServer& server,
@@ -97,6 +104,7 @@ class NetalyzrClient {
   ClientContext ctx_;
   sim::PortDemux* demux_;
   sim::Rng rng_;
+  fault::RetryPolicy retry_;
   std::vector<std::uint16_t> bound_ports_;
 
   std::uint16_t ephemeral_cursor_ = 0;

@@ -63,6 +63,9 @@ std::unique_ptr<crawler::DhtCrawler> run_crawl_phase(
       internet.servers.crawler_host, internet.servers.crawler_endpoint,
       config.crawl, internet.fork_rng());
   crawler->install(internet.net);
+  // The serial walk retries against the world clock; the sweep shards pass
+  // their private clocks to ping_shard instead.
+  crawler->set_retry_clock(&internet.clock);
   crawler->start(internet.net, internet.servers.bootstrap_endpoint);
 
   {
@@ -94,13 +97,31 @@ std::unique_ptr<crawler::DhtCrawler> run_crawl_phase(
     shards[it->second].push_back(c);
   }
   std::vector<crawler::DhtCrawler::PingShardOutcome> outcomes(shards.size());
+  const sim::SimTime sweep_t0 = internet.clock.now();
+  std::vector<sim::SimTime> sweep_end(shards.size(), sweep_t0);
   par::run_shards(
       shards.size(),
       [&](std::size_t s) {
-        outcomes[s] = crawler->ping_shard(internet.net, shards[s], s);
+        // Shards probe concurrently on private timelines (retry backoff
+        // costs virtual time) and draw fault/jitter decisions from
+        // shard-keyed substreams — all functions of what the shard is,
+        // never of which worker runs it.
+        sim::Clock clock;
+        clock.set(sweep_t0);
+        sim::ThreadClockScope clock_scope(clock);
+        fault::StreamScope fault_scope(internet.faults.get(),
+                                       fault::kSaltPingSweep, s);
+        sim::Rng jitter =
+            internet.faults->substream(fault::kSaltRetryJitter, s);
+        outcomes[s] = crawler->ping_shard(internet.net, shards[s], s, &clock,
+                                          &jitter);
+        sweep_end[s] = clock.now();
       },
       config.threads);
   crawler->absorb_ping_outcomes(outcomes);
+  sim::SimTime sweep_done = sweep_t0;
+  for (sim::SimTime t : sweep_end) sweep_done = std::max(sweep_done, t);
+  internet.clock.set(sweep_done);
   return crawler;
 }
 
@@ -138,6 +159,8 @@ std::vector<netalyzr::SessionResult> run_netalyzr_campaign(
         sim::Clock clock;
         clock.set(t0);
         sim::ThreadClockScope clock_scope(clock);
+        fault::StreamScope fault_scope(internet.faults.get(),
+                                       fault::kSaltNetalyzr, s);
 
         // Sessions come from distinct subscribers where possible.
         std::vector<std::size_t> order(isp.subscribers.size());
@@ -154,9 +177,10 @@ std::vector<netalyzr::SessionResult> run_netalyzr_campaign(
           ctx.cellular = isp.cellular;
           ctx.upnp_cpe = sub.cpe_upnp ? sub.cpe : nullptr;
 
-          netalyzr::NetalyzrClient client(ctx, *sub.demux, rng.fork());
-          netalyzr::SessionResult session =
-              client.run_basic(internet.net, *internet.servers.netalyzr);
+          netalyzr::NetalyzrClient client(ctx, *sub.demux, rng.fork(),
+                                          config.retry);
+          netalyzr::SessionResult session = client.run_basic(
+              internet.net, *internet.servers.netalyzr, &clock);
           if (rng.chance(config.stun_fraction))
             client.run_stun(internet.net, *internet.servers.stun, session);
           if (rng.chance(config.enum_fraction))

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "crawler/dht_crawler.hpp"
+#include "fault/retry.hpp"
 #include "netalyzr/client.hpp"
 #include "scenario/internet.hpp"
 
@@ -58,6 +59,9 @@ struct NetalyzrCampaignConfig {
   double stun_fraction = 0.50;
   netalyzr::TtlEnumConfig enum_config;
   double inter_session_gap_s = 300.0;  ///< idle gap between sessions
+  /// Probe retransmission policy handed to every NetalyzrClient. Default:
+  /// fire once, as the original client did.
+  fault::RetryPolicy retry;
   /// Workers for the per-ISP session shards: 0 reads CGN_THREADS (default
   /// serial). Results are identical for every worker count (see cgn::par).
   std::size_t threads = 0;

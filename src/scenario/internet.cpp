@@ -178,6 +178,17 @@ class InternetBuilder {
     isp.asn = plan.info.asn;
     isp.cellular = plan.info.cellular;
 
+    // Per-AS fault substream: keyed by ASN, independent of the builder's
+    // rng_, so (a) an inactive plan draws nothing and the world is
+    // byte-identical to a faultless build, and (b) the same ASN gets the
+    // same faults whatever else changes in the plan's surroundings.
+    const fault::FaultPlan& fplan = I_.config.fault_plan;
+    const bool faults_on = fplan.active();
+    sim::Rng frng = faults_on
+                        ? I_.faults->substream(fault::kSaltBuilder,
+                                               plan.info.asn)
+                        : sim::Rng(0);
+
     netcore::PrefixCarver pool_carver(plan.prefix);
     (void)pool_carver.next(24);  // skip the block routers would use
     isp.spare_block = pool_carver.next(24);  // reserved for renumbering
@@ -247,6 +258,20 @@ class InternetBuilder {
       for (const auto& a : pool)
         I_.net.register_address(a, isp.cgn_node, I_.net.root());
 
+      // Scheduled restarts / pressure windows apply to carrier-grade
+      // devices (the paper's CGN state flushes); phases are drawn per
+      // device so the fleet does not reboot in lockstep.
+      if (faults_on && (fplan.nat.restart_period_s > 0 ||
+                        fplan.nat.pressure_period_s > 0))
+        isp.cgn->set_fault_profile(
+            fplan.nat,
+            fplan.nat.restart_period_s > 0
+                ? frng.uniform01() * fplan.nat.restart_period_s
+                : 0.0,
+            fplan.nat.pressure_period_s > 0
+                ? frng.uniform01() * fplan.nat.pressure_period_s
+                : 0.0);
+
       int d = prof.hop_distance;
       cpe_chain_bottom = I_.net.add_router_chain(
           isp.cgn_node, std::max(d - 2, 0), plan.info.name + "-acc");
@@ -277,6 +302,17 @@ class InternetBuilder {
         plan.info.name + "-pub");
 
     // Subscribers.
+    // Injected-unresponsive BitTorrent peers: the client's inbound UDP is
+    // discarded (app crashed / strict host firewall) while its own outbound
+    // still refreshes NAT state — the peers the crawler probes and then
+    // discards as dead.
+    auto maybe_deafen = [&](const Subscriber& sub) {
+      if (!faults_on || sub.bt_client == nullptr) return;
+      const double rate =
+          fplan.peers.rate_for(static_cast<std::uint32_t>(plan.info.asn));
+      if (rate > 0 && frng.chance(rate))
+        I_.faults->mark_unresponsive(sub.device, 6881);
+    };
     int home_id = 0;
     for (std::size_t i = 0; i < n_subs; ++i) {
       bool behind_cgn =
@@ -288,6 +324,7 @@ class InternetBuilder {
                                        public_chain_bottom,
                                        static_cast<int>(i));
       if (has_bt) attach_bt_client(sub);
+      maybe_deafen(sub);
       bool multi_home = has_bt && !plan.info.cellular && sub.cpe &&
                         rng_.chance(cfg.multi_device_home_fraction);
       isp.subscribers.push_back(sub);
@@ -296,6 +333,7 @@ class InternetBuilder {
         // discover each other via local peer discovery.
         Subscriber second = add_lan_device(plan, sub, static_cast<int>(i));
         attach_bt_client(second);
+        maybe_deafen(second);
         dht::DhtNode* a = sub.bt_client;
         dht::DhtNode* b = second.bt_client;
         a->learn_contact(dht::Contact{b->id(), b->local_endpoint()},
@@ -456,6 +494,10 @@ class InternetBuilder {
 
 Internet::Internet(const InternetConfig& cfg) : config(cfg), rng_(cfg.seed) {
   obs::ScopedPhase phase("build_internet");
+  faults = std::make_unique<fault::FaultInjector>(cfg.fault_plan);
+  // Attach only an active injector: clean runs keep a null pointer on the
+  // delivery path and build output identical to a no-fault binary.
+  if (faults->active()) net.set_fault_injector(faults.get());
   InternetBuilder(*this).build();
 }
 

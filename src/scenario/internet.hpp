@@ -18,6 +18,7 @@
 
 #include "dht/dht_node.hpp"
 #include "dht/tracker.hpp"
+#include "fault/fault.hpp"
 #include "nat/nat_device.hpp"
 #include "netalyzr/server.hpp"
 #include "netcore/address_pool.hpp"
@@ -79,6 +80,13 @@ struct InternetConfig {
   // --- Topology shape ------------------------------------------------------
   int server_side_hops = 3;
   int agg_hops_lo = 1, agg_hops_hi = 3;
+
+  // --- Fault injection -----------------------------------------------------
+  /// Impairment scenario (loss, duplication, deaf peers, CGN restarts,
+  /// port-pool pressure). Inactive by default: the injector is then never
+  /// attached to the network and the build draws no fault randomness, so
+  /// clean runs are byte-identical to a no-fault build.
+  fault::FaultPlan fault_plan;
 };
 
 /// One subscriber line of an instrumented ISP.
@@ -137,6 +145,10 @@ class Internet {
   netcore::AsRegistry registry;
   InternetConfig config;
   Servers servers;
+  /// The fault injector realized from config.fault_plan. Always present;
+  /// attached to `net` (and consulted by campaign drivers) only when the
+  /// plan is active.
+  std::unique_ptr<fault::FaultInjector> faults;
 
   std::vector<IspInstance> isps;
   std::unordered_map<netcore::Asn, std::size_t> isp_index;

@@ -29,6 +29,16 @@ class Clock {
     now_ = t;
   }
 
+  /// Rolls back to absolute time `t`. The one sanctioned use is closing a
+  /// scoped timeline: fault::retry_loop advances the clock while a probe
+  /// backs off, then rewinds to the probe's start so thousands of
+  /// concurrently multiplexed probes do not serialize their waits. Throws
+  /// if `t` is in the future.
+  void rewind(SimTime t) {
+    if (t > now_) throw std::invalid_argument("rewind cannot go forward");
+    now_ = t;
+  }
+
  private:
   SimTime now_ = 0.0;
 };

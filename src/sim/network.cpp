@@ -4,6 +4,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "fault/fault.hpp"
+
 namespace cgn::sim {
 
 Network::ObsHandles Network::make_obs_handles() {
@@ -19,6 +21,9 @@ Network::ObsHandles Network::make_obs_handles() {
       .dropped_filtered = obs::counter("sim.net.dropped.filtered"),
       .dropped_no_mapping = obs::counter("sim.net.dropped.no_mapping"),
       .dropped_other = obs::counter("sim.net.dropped.other"),
+      .dropped_fault_loss = obs::counter("sim.net.dropped.fault_loss"),
+      .dropped_fault_unresponsive =
+          obs::counter("sim.net.dropped.fault_unresponsive"),
       .hops = obs::histogram("sim.net.hops", kHopBounds),
   };
 }
@@ -32,6 +37,8 @@ std::string_view to_string(DropReason r) noexcept {
     case DropReason::no_mapping: return "no_mapping";
     case DropReason::mb_dropped: return "mb_dropped";
     case DropReason::hop_limit: return "hop_limit";
+    case DropReason::fault_loss: return "fault_loss";
+    case DropReason::fault_unresponsive: return "fault_unresponsive";
   }
   return "?";
 }
@@ -107,6 +114,10 @@ const NetworkStats& Network::stats() const noexcept {
     stats_merged_.dropped_filtered += cell.dropped_filtered;
     stats_merged_.dropped_no_mapping += cell.dropped_no_mapping;
     stats_merged_.dropped_other += cell.dropped_other;
+    stats_merged_.dropped_fault_loss += cell.dropped_fault_loss;
+    stats_merged_.dropped_fault_unresponsive +=
+        cell.dropped_fault_unresponsive;
+    stats_merged_.duplicated += cell.duplicated;
   }
   return stats_merged_;
 }
@@ -188,6 +199,14 @@ DeliveryResult Network::finish(DeliveryResult r) {
       ++stats_cell().dropped_no_mapping;
       obs_.dropped_no_mapping.inc();
       break;
+    case DropReason::fault_loss:
+      ++stats_cell().dropped_fault_loss;
+      obs_.dropped_fault_loss.inc();
+      break;
+    case DropReason::fault_unresponsive:
+      ++stats_cell().dropped_fault_unresponsive;
+      obs_.dropped_fault_unresponsive.inc();
+      break;
     default:
       ++stats_cell().dropped_other;
       obs_.dropped_other.inc();
@@ -199,7 +218,22 @@ DeliveryResult Network::finish(DeliveryResult r) {
 }
 
 DeliveryResult Network::deliver_at(NodeId node, Packet& pkt, int hops) {
-  if (nodes_[node].receiver) nodes_[node].receiver(*this, pkt);
+  // An injected-unresponsive endpoint receives nothing: the NAT state along
+  // the path was still created/refreshed (the packet really travelled), but
+  // the application never answers — a deaf BitTorrent peer.
+  if (faults_ && faults_->unresponsive(node, pkt.dst.port))
+    return finish({.reason = DropReason::fault_unresponsive,
+                   .hops = hops,
+                   .final_node = node});
+  if (nodes_[node].receiver) {
+    nodes_[node].receiver(*this, pkt);
+    // Injected duplication: the receiver sees the same datagram twice, as
+    // after a spurious link-layer retransmission.
+    if (faults_ && faults_->duplicate_delivery()) {
+      ++stats_cell().duplicated;
+      nodes_[node].receiver(*this, pkt);
+    }
+  }
   return finish({.delivered = true,
                  .reason = DropReason::none,
                  .hops = hops,
@@ -220,6 +254,12 @@ DeliveryResult Network::send(Packet pkt, NodeId from) {
     Node& n = nodes_[node];
     pkt.ttl -= 1;
     trace_event(TraceKind::hop, node, pkt.ttl, 0);
+    // Injected loss models the wire into this node: upstream NAT state was
+    // already refreshed, this hop and everything past it sees nothing.
+    if (faults_ && faults_->drop_at_hop())
+      return finish({.reason = DropReason::fault_loss,
+                     .hops = hops,
+                     .final_node = node});
     if (owns_local(n, pkt.dst.address)) return deliver_at(node, pkt, hops);
     if (pkt.ttl <= 0)
       return finish({.reason = DropReason::ttl_expired,
@@ -269,6 +309,10 @@ DeliveryResult Network::descend(NodeId node, Packet& pkt, int hops) {
     Node& n = nodes_[node];
     pkt.ttl -= 1;
     trace_event(TraceKind::hop, node, pkt.ttl, 0);
+    if (faults_ && faults_->drop_at_hop())
+      return finish({.reason = DropReason::fault_loss,
+                     .hops = hops,
+                     .final_node = node});
     // A NAT whose external address the packet targets translates it inward —
     // but only if the packet still has TTL budget to be forwarded; a probe
     // that expires here dies without refreshing the NAT's mapping, which is

@@ -26,6 +26,10 @@
 #include "sim/clock.hpp"
 #include "sim/packet.hpp"
 
+namespace cgn::fault {
+class FaultInjector;
+}  // namespace cgn::fault
+
 namespace cgn::sim {
 
 using NodeId = std::uint32_t;
@@ -40,6 +44,8 @@ enum class DropReason : std::uint8_t {
   no_mapping,   ///< a NAT had no (live) mapping for the destination
   mb_dropped,   ///< middlebox dropped for another reason (e.g. pool exhausted)
   hop_limit,    ///< safety valve: path exceeded kMaxHops
+  fault_loss,   ///< injected packet loss (fault::FaultInjector)
+  fault_unresponsive,  ///< delivered to an injected-unresponsive endpoint
 };
 
 [[nodiscard]] std::string_view to_string(DropReason r) noexcept;
@@ -85,6 +91,9 @@ struct NetworkStats {
   std::uint64_t dropped_filtered = 0;
   std::uint64_t dropped_no_mapping = 0;
   std::uint64_t dropped_other = 0;
+  std::uint64_t dropped_fault_loss = 0;
+  std::uint64_t dropped_fault_unresponsive = 0;
+  std::uint64_t duplicated = 0;  ///< extra deliveries from injected duplication
 };
 
 class Network {
@@ -175,6 +184,18 @@ class Network {
     dropped = 3,
   };
 
+  /// Attaches a fault injector: subsequent deliveries consult it for
+  /// injected loss (per hop), duplication (per delivery) and unresponsive
+  /// endpoints. Null (the default) means a perfect network; attach only an
+  /// injector with an active plan, so clean runs pay one null check per
+  /// hop. The injector is caller-owned and must outlive attachment.
+  void set_fault_injector(fault::FaultInjector* injector) noexcept {
+    faults_ = injector;
+  }
+  [[nodiscard]] fault::FaultInjector* fault_injector() const noexcept {
+    return faults_;
+  }
+
   /// Attaches a hop-trace ring: every subsequent delivery pushes one event
   /// per hop plus middlebox verdicts and the terminal outcome. Off by
   /// default (null ring); enable around a single send() to debug TTL or
@@ -206,6 +227,8 @@ class Network {
     obs::Counter& dropped_filtered;
     obs::Counter& dropped_no_mapping;
     obs::Counter& dropped_other;
+    obs::Counter& dropped_fault_loss;
+    obs::Counter& dropped_fault_unresponsive;
     obs::Histogram& hops;
   };
   static ObsHandles make_obs_handles();
@@ -236,6 +259,7 @@ class Network {
   mutable NetworkStats stats_merged_;  ///< scratch for stats()
   ObsHandles obs_ = make_obs_handles();
   obs::TraceRing* trace_ = nullptr;
+  fault::FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace cgn::sim
