@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Compare fresh bench_perf_micro runs against the committed baseline.
+
+Usage:
+    scripts/bench_compare.py BASELINE FRESH [FRESH2 FRESH3 ...]
+
+BASELINE is bench/baselines/perf_micro.json (committed); each FRESH is a
+BENCH_perf_micro.json produced by a run of build/bench/bench_perf_micro.
+Pass several fresh files (CI passes three) and the per-metric median is
+compared, which keeps one noisy run from tripping the gate.
+
+Checks, in order of severity:
+  * figures must carry parallel_identical == 1 (1-vs-4-worker campaign
+    fingerprints byte-identical) — hard fail otherwise;
+  * echo_roundtrip_ns and every top-level profiler phase wall time are
+    compared against the baseline: a regression above WARN_PCT prints a
+    warning, one above FAIL_PCT on echo_roundtrip_ns or total phase wall
+    time fails the gate (exit 1).
+
+Timings below NOISE_FLOOR_S are reported but never gate: on shared CI
+runners, sub-50ms phases are dominated by scheduler noise.
+"""
+
+import json
+import statistics
+import sys
+
+WARN_PCT = 10.0
+FAIL_PCT = 30.0
+NOISE_FLOOR_S = 0.05
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def phase_walls(doc):
+    """Top-level (depth 0) profiler phases: name -> wall seconds."""
+    return {
+        p["phase"]: p["wall_s"]
+        for p in doc.get("obs", {}).get("phases", [])
+        if p.get("depth") == 0
+    }
+
+
+def median_fresh(docs):
+    figures = {}
+    for key in docs[0].get("figures", {}):
+        vals = [d["figures"][key] for d in docs if key in d.get("figures", {})]
+        figures[key] = statistics.median(vals)
+    phases = {}
+    for name in phase_walls(docs[0]):
+        vals = [phase_walls(d).get(name) for d in docs]
+        vals = [v for v in vals if v is not None]
+        if vals:
+            phases[name] = statistics.median(vals)
+    return figures, phases
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    baseline = load(argv[1])
+    fresh_docs = [load(p) for p in argv[2:]]
+    figures, phases = median_fresh(fresh_docs)
+
+    failed = False
+    warned = False
+
+    ident = figures.get("parallel_identical")
+    if ident != 1:
+        print(f"FAIL parallel_identical = {ident} (1-vs-4-worker campaign "
+              "fingerprints diverged: determinism is broken)")
+        failed = True
+    else:
+        print("ok   parallel_identical = 1 (fingerprints byte-identical)")
+
+    def compare(label, base, fresh, *, gates, floor=0.0):
+        nonlocal failed, warned
+        if base is None or fresh is None:
+            print(f"skip {label}: missing from "
+                  f"{'baseline' if base is None else 'fresh run'}")
+            return
+        delta = 100.0 * (fresh - base) / base if base else 0.0
+        line = f"{label}: baseline {base:.6g}, fresh {fresh:.6g} ({delta:+.1f}%)"
+        if max(base, fresh) < floor:
+            print(f"ok   {line} [below {floor}s noise floor, not gated]")
+        elif delta > FAIL_PCT and gates:
+            print(f"FAIL {line} > {FAIL_PCT:.0f}%")
+            failed = True
+        elif delta > WARN_PCT:
+            print(f"WARN {line} > {WARN_PCT:.0f}%")
+            warned = True
+        else:
+            print(f"ok   {line}")
+
+    compare("figures.echo_roundtrip_ns",
+            baseline.get("figures", {}).get("echo_roundtrip_ns"),
+            figures.get("echo_roundtrip_ns"), gates=True)
+
+    base_phases = phase_walls(baseline)
+    for name in sorted(set(base_phases) | set(phases)):
+        # Individual phases warn; only the total (summed) wall time fails.
+        compare(f"phase.{name}", base_phases.get(name), phases.get(name),
+                gates=False, floor=NOISE_FLOOR_S)
+    compare("phase total wall_s",
+            sum(base_phases.values()) if base_phases else None,
+            sum(phases.values()) if phases else None, gates=True)
+
+    if failed:
+        print("bench_compare: FAIL")
+        return 1
+    print("bench_compare: OK" + (" (with warnings)" if warned else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Bench smoke gate (scripts/check.sh bench; the ci.yml bench-smoke job):
+#
+#  1. bench_perf_micro, three runs at 1 worker -> median phase timings and
+#     echo_roundtrip_ns compared against bench/baselines/perf_micro.json
+#     via scripts/bench_compare.py (warn >10%, fail >30%);
+#  2. bench_perf_micro once at 4 workers -> its parallel_identical figure
+#     asserts the 1/2/4-worker campaign fingerprints are byte-identical;
+#  3. bench_fig01_survey at 1 and 4 workers -> the JSON "figures" objects
+#     must be byte-identical (thread count must never leak into results).
+#
+# JSON artifacts land in <builddir>/bench-smoke/ for upload.
+#
+# Usage: scripts/bench_smoke.sh [builddir]   # default: build
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+BENCH="$BUILD/bench"
+OUT="$BUILD/bench-smoke"
+[[ -x "$BENCH/bench_perf_micro" ]] || {
+  echo "bench_smoke: $BENCH/bench_perf_micro not built" >&2; exit 2; }
+rm -rf "$OUT"
+mkdir -p "$OUT"/run1 "$OUT"/run2 "$OUT"/run3 "$OUT"/t4 "$OUT"/fig01_t1 "$OUT"/fig01_t4
+
+echo "== bench-smoke: perf_micro x3 at 1 worker =="
+for run in 1 2 3; do
+  CGN_THREADS=1 CGN_BENCH_JSON_DIR="$OUT/run$run" \
+    "$BENCH/bench_perf_micro" --benchmark_min_time=0.05 \
+    > "$OUT/run$run/stdout.txt"
+done
+
+echo "== bench-smoke: perf_micro at 4 workers =="
+CGN_THREADS=4 CGN_BENCH_JSON_DIR="$OUT/t4" \
+  "$BENCH/bench_perf_micro" --benchmark_min_time=0.05 > "$OUT/t4/stdout.txt"
+
+echo "== bench-smoke: fig01 figures at 1 vs 4 workers =="
+CGN_THREADS=1 CGN_BENCH_JSON_DIR="$OUT/fig01_t1" \
+  "$BENCH/bench_fig01_survey" --benchmark_min_time=0.05 \
+  > "$OUT/fig01_t1/stdout.txt"
+CGN_THREADS=4 CGN_BENCH_JSON_DIR="$OUT/fig01_t4" \
+  "$BENCH/bench_fig01_survey" --benchmark_min_time=0.05 \
+  > "$OUT/fig01_t4/stdout.txt"
+
+python3 - "$OUT" <<'EOF'
+import json, sys
+out = sys.argv[1]
+
+t4 = json.load(open(f"{out}/t4/BENCH_perf_micro.json"))
+ident = t4["figures"].get("parallel_identical")
+assert ident == 1, f"parallel_identical={ident}: worker fingerprints diverged"
+print("ok   perf_micro@4 workers: campaign fingerprints byte-identical")
+
+f1 = json.load(open(f"{out}/fig01_t1/BENCH_fig01_survey.json"))["figures"]
+f4 = json.load(open(f"{out}/fig01_t4/BENCH_fig01_survey.json"))["figures"]
+assert json.dumps(f1, sort_keys=True) == json.dumps(f4, sort_keys=True), \
+    f"fig01 figures differ between 1 and 4 workers:\n{f1}\n{f4}"
+print("ok   fig01 figures byte-identical at 1 vs 4 workers")
+EOF
+
+echo "== bench-smoke: regression gate vs bench/baselines/perf_micro.json =="
+python3 scripts/bench_compare.py bench/baselines/perf_micro.json \
+  "$OUT"/run1/BENCH_perf_micro.json \
+  "$OUT"/run2/BENCH_perf_micro.json \
+  "$OUT"/run3/BENCH_perf_micro.json
+
+echo "== bench-smoke: green (artifacts in $OUT) =="

@@ -1,40 +1,77 @@
 #!/usr/bin/env bash
-# Tier-1 gate: configure + build + full ctest, then the same test suite
-# under ASan+UBSan (-DCGN_SANITIZE=ON) and the parallel-campaign tests
-# under TSan (-DCGN_SANITIZE=thread), each in a separate build tree.
+# Repo gate, split into named stages so CI jobs and developers can run just
+# the part they need:
 #
-# Usage: scripts/check.sh [--no-sanitize]
+#   format   clang-format --dry-run -Werror over src/ tests/ bench/
+#   tier1    configure + build + full ctest (build/)
+#   asan     full ctest under ASan+UBSan (build-asan/, -DCGN_SANITIZE=ON)
+#   tsan     parallel-campaign ctest under TSan (build-tsan/,
+#            -DCGN_SANITIZE=thread, CGN_THREADS=4)
+#   bench    bench smoke: bench_perf_micro at 1 and 4 workers, fingerprints
+#            byte-identical, phase timings vs bench/baselines/ (see
+#            scripts/bench_smoke.sh and scripts/bench_compare.py)
+#
+# Usage: scripts/check.sh [stage...]
+#        scripts/check.sh                # format tier1 asan tsan (historical
+#                                        # default; bench is opt-in)
+#        scripts/check.sh --no-sanitize  # format tier1 (compat alias)
+#        scripts/check.sh tier1 bench
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-SANITIZE=1
-[[ "${1:-}" == "--no-sanitize" ]] && SANITIZE=0
+stage_format() {
+  if command -v clang-format >/dev/null 2>&1; then
+    echo "== format: clang-format --dry-run -Werror (src/ tests/ bench/) =="
+    find src tests bench -name '*.hpp' -o -name '*.cpp' | \
+      xargs clang-format --dry-run -Werror
+  else
+    echo "== format: clang-format not found, skipping =="
+  fi
+}
 
-if command -v clang-format >/dev/null 2>&1; then
-  echo "== format: clang-format --dry-run -Werror (src/ tests/ bench/) =="
-  find src tests bench -name '*.hpp' -o -name '*.cpp' | \
-    xargs clang-format --dry-run -Werror
-else
-  echo "== format: clang-format not found, skipping =="
-fi
+stage_tier1() {
+  echo "== tier-1: configure + build + ctest (build/) =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j
+  ctest --test-dir build --output-on-failure -j "$(nproc)"
+}
 
-echo "== tier-1: configure + build + ctest (build/) =="
-cmake -B build -S . >/dev/null
-cmake --build build -j
-ctest --test-dir build --output-on-failure -j "$(nproc)"
-
-if [[ "$SANITIZE" == 1 ]]; then
+stage_asan() {
   echo "== sanitizers: ASan+UBSan build + ctest (build-asan/) =="
   cmake -B build-asan -S . -DCGN_SANITIZE=ON >/dev/null
   cmake --build build-asan -j --target cgn_tests
   ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
+}
 
+stage_tsan() {
   echo "== sanitizers: TSan build + parallel-campaign ctest (build-tsan/) =="
   cmake -B build-tsan -S . -DCGN_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j --target cgn_tests
   CGN_THREADS=4 ctest --test-dir build-tsan --output-on-failure \
-    -R 'RunShards|ConfiguredThreads|RngFork|ThreadClockScope|CampaignParallel|Fault' \
+    -R 'RunShards|ConfiguredThreads|RngFork|ThreadClockScope|CampaignParallel|Fault|RouteCache' \
     -j "$(nproc)"
+}
+
+stage_bench() {
+  echo "== bench: perf-micro smoke (fingerprints + regression gate) =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j --target bench_perf_micro
+  scripts/bench_smoke.sh build
+}
+
+if [[ $# -eq 0 ]]; then
+  stages=(format tier1 asan tsan)
+elif [[ "$1" == "--no-sanitize" ]]; then
+  stages=(format tier1)
+else
+  stages=("$@")
 fi
 
-echo "== check.sh: all green =="
+for stage in "${stages[@]}"; do
+  case "$stage" in
+    format|tier1|asan|tsan|bench) "stage_$stage" ;;
+    *) echo "check.sh: unknown stage '$stage'" >&2; exit 2 ;;
+  esac
+done
+
+echo "== check.sh: all green (${stages[*]}) =="

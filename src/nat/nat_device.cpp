@@ -230,7 +230,10 @@ void NatDevice::erase_mapping(const OutKey& key) {
     g_ports_in_use.sub(static_cast<std::int64_t>(used.erase(m.external.port)));
   }
   g_active_mappings.sub(1);
-  mappings_.erase(it);
+  // Key-based erase: `key` may alias the stored key (find_in passes
+  // map_it->first), which FlatMap::erase supports — the key is only read
+  // during the probe, before the entry is destroyed.
+  mappings_.erase(key);
 }
 
 NatDevice::Mapping* NatDevice::find_out(const OutKey& key, sim::SimTime now) {
@@ -252,7 +255,7 @@ NatDevice::Mapping* NatDevice::find_in(netcore::Protocol proto,
   if (it == by_external_.end()) return nullptr;
   auto map_it = mappings_.find(it->second);
   if (map_it == mappings_.end()) {
-    by_external_.erase(it);
+    by_external_.erase(InKey{proto, external});
     return nullptr;
   }
   if (expired(map_it->second, now)) {
@@ -410,7 +413,7 @@ NatDevice::Mapping* NatDevice::create_mapping(const OutKey& key,
           pool_idx = candidate;
         } else {
           taken.erase(*chunk);
-          subscriber_chunks_.erase(it);
+          subscriber_chunks_.erase(internal_ip);
           it = subscriber_chunks_.end();
         }
       }
@@ -621,7 +624,7 @@ bool NatDevice::renumber_external(netcore::Ipv4Address old_address,
   g_mappings_expired.inc(dead.size());
 
   pool_[idx] = new_address;
-  pool_index_.erase(it);
+  pool_index_.erase(old_address);
   pool_index_.emplace(new_address, idx);
   return true;
 }

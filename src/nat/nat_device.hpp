@@ -10,11 +10,11 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "flat/flat.hpp"
 #include "nat/nat_types.hpp"
 #include "netcore/ipv4.hpp"
 #include "sim/network.hpp"
@@ -170,8 +170,8 @@ class NatDevice final : public sim::Middlebox {
     TcpState tcp_state = TcpState::transitory;
     // Destinations contacted through this mapping; only the sets the
     // filtering policy needs are populated.
-    std::unordered_set<netcore::Ipv4Address> contacted_addresses;
-    std::unordered_set<netcore::Endpoint> contacted_endpoints;
+    flat::FlatSet<netcore::Ipv4Address> contacted_addresses;
+    flat::FlatSet<netcore::Endpoint> contacted_endpoints;
   };
 
   [[nodiscard]] sim::SimTime timeout_for(const Mapping& m) const {
@@ -215,26 +215,26 @@ class NatDevice final : public sim::Middlebox {
   CreatedHook on_created_;
   ExpiredHook on_expired_;
   std::vector<netcore::Ipv4Address> pool_;
-  std::unordered_map<netcore::Ipv4Address, std::size_t> pool_index_;
+  flat::FlatMap<netcore::Ipv4Address, std::size_t> pool_index_;
   sim::Rng rng_;
   NatStats stats_;
 
-  std::unordered_map<OutKey, Mapping, OutKeyHash> mappings_;
-  std::unordered_map<InKey, OutKey, InKeyHash> by_external_;
+  flat::FlatMap<OutKey, Mapping, OutKeyHash> mappings_;
+  flat::FlatMap<InKey, OutKey, InKeyHash> by_external_;
 
-  // Per (pool index, protocol) used ports.
-  std::vector<std::unordered_set<std::uint16_t>> used_ports_udp_;
-  std::vector<std::unordered_set<std::uint16_t>> used_ports_tcp_;
+  // Per (pool index, protocol) used ports, as 16-bit-port-space bitmaps.
+  std::vector<flat::PortSet> used_ports_udp_;
+  std::vector<flat::PortSet> used_ports_tcp_;
   // Sequential allocation cursors per pool index.
   std::vector<std::uint32_t> seq_cursor_;
   // Paired pooling: sticky internal IP -> pool index.
-  std::unordered_map<netcore::Ipv4Address, std::size_t> paired_pool_;
+  flat::FlatMap<netcore::Ipv4Address, std::size_t> paired_pool_;
   // chunk_random: sticky internal IP -> (pool index, chunk base).
-  std::unordered_map<netcore::Ipv4Address,
-                     std::pair<std::size_t, std::uint16_t>>
+  flat::FlatMap<netcore::Ipv4Address, std::pair<std::size_t, std::uint16_t>>
       subscriber_chunks_;
-  // chunk_random: per pool index, chunk bases already assigned.
-  std::vector<std::unordered_set<std::uint16_t>> chunks_taken_;
+  // chunk_random: per pool index, chunk bases already assigned (a chunk base
+  // index always fits in 16 bits, so the port bitmap doubles as a chunk set).
+  std::vector<flat::PortSet> chunks_taken_;
 };
 
 }  // namespace cgn::nat

@@ -7,8 +7,8 @@
 
 #include <cstdint>
 #include <mutex>
-#include <unordered_map>
 
+#include "flat/flat.hpp"
 #include "netalyzr/messages.hpp"
 #include "netcore/ipv4.hpp"
 #include "sim/network.hpp"
@@ -63,7 +63,7 @@ class NetalyzrServer {
   /// concurrently; the flow table is the only cross-shard mutable state, so
   /// it gets a lock (held only around map access, never across a send).
   mutable std::mutex mu_;
-  std::unordered_map<std::uint64_t, netcore::Endpoint> flows_;
+  flat::FlatMap<std::uint64_t, netcore::Endpoint> flows_;
 };
 
 }  // namespace cgn::netalyzr

@@ -4,11 +4,16 @@ namespace cgn::obs {
 
 std::vector<TraceEvent> TraceRing::events() const {
   std::vector<TraceEvent> out;
+  events_into(out);
+  return out;
+}
+
+void TraceRing::events_into(std::vector<TraceEvent>& out) const {
+  out.clear();
   out.reserve(size_);
   const std::size_t start = (head_ + buffer_.size() - size_) % buffer_.size();
   for (std::size_t i = 0; i < size_; ++i)
     out.push_back(buffer_[(start + i) % buffer_.size()]);
-  return out;
 }
 
 }  // namespace cgn::obs

@@ -51,6 +51,10 @@ class TraceRing {
   /// Retained events, oldest first.
   [[nodiscard]] std::vector<TraceEvent> events() const;
 
+  /// Like events(), but reuses the caller's buffer so a warmed-up scratch
+  /// vector makes repeated snapshots allocation-free.
+  void events_into(std::vector<TraceEvent>& out) const;
+
  private:
   std::vector<TraceEvent> buffer_;
   std::size_t head_ = 0;

@@ -4,8 +4,8 @@
 #pragma once
 
 #include <functional>
-#include <unordered_map>
 
+#include "flat/flat.hpp"
 #include "sim/network.hpp"
 
 namespace cgn::sim {
@@ -33,7 +33,7 @@ class PortDemux {
   }
 
  private:
-  std::unordered_map<std::uint16_t, Handler> handlers_;
+  flat::FlatMap<std::uint16_t, Handler> handlers_;
 };
 
 }  // namespace cgn::sim

@@ -84,6 +84,9 @@ void Network::register_address(netcore::Ipv4Address address, NodeId owner,
   NodeId node = nodes_.at(owner).parent;
   while (node != kNoNode) {
     nodes_[node].down_routes[address] = child;
+    // Any route mutation invalidates the node's one-entry cache, whatever
+    // address it currently holds.
+    nodes_[node].route_cache.store(0, std::memory_order_relaxed);
     if (node == scope) return;
     child = node;
     node = nodes_[node].parent;
@@ -95,8 +98,8 @@ void Network::unregister_address(netcore::Ipv4Address address, NodeId owner,
                                  NodeId scope) {
   NodeId node = nodes_.at(owner).parent;
   while (node != kNoNode) {
-    auto it = nodes_[node].down_routes.find(address);
-    if (it != nodes_[node].down_routes.end()) nodes_[node].down_routes.erase(it);
+    nodes_[node].down_routes.erase(address);
+    nodes_[node].route_cache.store(0, std::memory_order_relaxed);
     if (node == scope) return;
     node = nodes_[node].parent;
   }
@@ -118,6 +121,7 @@ const NetworkStats& Network::stats() const noexcept {
     stats_merged_.dropped_fault_unresponsive +=
         cell.dropped_fault_unresponsive;
     stats_merged_.duplicated += cell.duplicated;
+    stats_merged_.route_cache_hits += cell.route_cache_hits;
   }
   return stats_merged_;
 }
@@ -265,9 +269,8 @@ DeliveryResult Network::send(Packet pkt, NodeId from) {
       return finish({.reason = DropReason::ttl_expired,
                      .hops = hops,
                      .final_node = node});
-    if (auto it = n.down_routes.find(pkt.dst.address);
-        it != n.down_routes.end())
-      return descend(it->second, pkt, hops);
+    if (NodeId next = route_lookup(n, pkt.dst.address); next != kNoNode)
+      return descend(next, pkt, hops);
     if (n.middlebox && n.middlebox->owns_external(pkt.dst.address)) {
       auto verdict = n.middlebox->process_hairpin(pkt, now);
       trace_event(TraceKind::middlebox, node, pkt.ttl,
@@ -276,12 +279,13 @@ DeliveryResult Network::send(Packet pkt, NodeId from) {
         return finish({.reason = to_drop_reason(verdict),
                        .hops = hops,
                        .final_node = node});
-      auto it = n.down_routes.find(pkt.dst.address);
-      if (it == n.down_routes.end())
+      // Hairpin processing may rewrite pkt.dst, so route on the new address.
+      NodeId next = route_lookup(n, pkt.dst.address);
+      if (next == kNoNode)
         return finish({.reason = DropReason::no_route,
                        .hops = hops,
                        .final_node = node});
-      return descend(it->second, pkt, hops);
+      return descend(next, pkt, hops);
     }
     if (n.middlebox) {
       auto verdict = n.middlebox->process_outbound(pkt, now);
@@ -335,12 +339,12 @@ DeliveryResult Network::descend(NodeId node, Packet& pkt, int hops) {
       return finish({.reason = DropReason::ttl_expired,
                      .hops = hops,
                      .final_node = node});
-    auto it = n.down_routes.find(pkt.dst.address);
-    if (it == n.down_routes.end())
+    NodeId next = route_lookup(n, pkt.dst.address);
+    if (next == kNoNode)
       return finish({.reason = DropReason::no_route,
                      .hops = hops,
                      .final_node = node});
-    node = it->second;
+    node = next;
   }
 }
 
@@ -358,7 +362,11 @@ void Network::dump_trace(std::ostream& os, const obs::TraceRing& ring) const {
     return node < nodes_.size() ? std::string_view(nodes_[node].name)
                                 : std::string_view("<none>");
   };
-  for (const obs::TraceEvent& e : ring.events()) {
+  // Per-thread scratch: repeated dumps (TTL enumeration reports snapshot the
+  // ring per probe) reuse the warmed-up buffer instead of allocating.
+  static thread_local std::vector<obs::TraceEvent> scratch;
+  ring.events_into(scratch);
+  for (const obs::TraceEvent& e : scratch) {
     os << "[t=" << e.time << "] ";
     switch (static_cast<TraceKind>(e.kind)) {
       case TraceKind::hop:

@@ -12,14 +12,15 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
 #include <limits>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "flat/flat.hpp"
 #include "netcore/ipv4.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -94,6 +95,9 @@ struct NetworkStats {
   std::uint64_t dropped_fault_loss = 0;
   std::uint64_t dropped_fault_unresponsive = 0;
   std::uint64_t duplicated = 0;  ///< extra deliveries from injected duplication
+  /// Down-route lookups answered by the per-node one-entry route cache
+  /// (repeated same-destination probes: TTL enumeration, ping sweeps).
+  std::uint64_t route_cache_hits = 0;
 };
 
 class Network {
@@ -211,8 +215,38 @@ class Network {
     NodeId parent = kNoNode;
     Middlebox* middlebox = nullptr;
     Receiver receiver;
-    std::unordered_map<netcore::Ipv4Address, NodeId> down_routes;
+    flat::FlatMap<netcore::Ipv4Address, NodeId> down_routes;
     std::vector<netcore::Ipv4Address> local_addresses;
+    /// One-entry route cache: (address << 32) | child, 0 when empty. A
+    /// valid child NodeId is never 0 (the root has no ancestors), so a set
+    /// entry is never all-zero. Packed into a single relaxed atomic so
+    /// concurrent campaign shards crossing shared core nodes stay
+    /// race-free; only positive lookups are cached, and every route
+    /// mutation on the node clears it (see DESIGN.md §10).
+    std::atomic<std::uint64_t> route_cache{0};
+
+    Node() = default;
+    // Moves happen only during single-threaded topology construction
+    // (vector growth in add_node), so a relaxed copy of the cache is safe.
+    Node(Node&& o) noexcept
+        : name(std::move(o.name)),
+          parent(o.parent),
+          middlebox(o.middlebox),
+          receiver(std::move(o.receiver)),
+          down_routes(std::move(o.down_routes)),
+          local_addresses(std::move(o.local_addresses)),
+          route_cache(o.route_cache.load(std::memory_order_relaxed)) {}
+    Node& operator=(Node&& o) noexcept {
+      name = std::move(o.name);
+      parent = o.parent;
+      middlebox = o.middlebox;
+      receiver = std::move(o.receiver);
+      down_routes = std::move(o.down_routes);
+      local_addresses = std::move(o.local_addresses);
+      route_cache.store(o.route_cache.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+      return *this;
+    }
   };
 
   static constexpr int kMaxHops = 64;
@@ -238,6 +272,21 @@ class Network {
   DeliveryResult descend(NodeId node, Packet& pkt, int hops);
   DeliveryResult finish(DeliveryResult r);
   static DropReason to_drop_reason(Middlebox::Verdict v) noexcept;
+
+  /// Down-route lookup through the node's one-entry cache. Returns kNoNode
+  /// when the node has no route for `a`; negative results are not cached.
+  [[nodiscard]] NodeId route_lookup(Node& n, netcore::Ipv4Address a) noexcept {
+    const std::uint64_t e = n.route_cache.load(std::memory_order_relaxed);
+    if (e != 0 && (e >> 32) == a.value()) {
+      ++stats_cell().route_cache_hits;
+      return static_cast<NodeId>(e);
+    }
+    auto it = n.down_routes.find(a);
+    if (it == n.down_routes.end()) return kNoNode;
+    n.route_cache.store((std::uint64_t{a.value()} << 32) | it->second,
+                        std::memory_order_relaxed);
+    return it->second;
+  }
 
   void trace_event(TraceKind kind, NodeId node, int ttl,
                    std::uint8_t code) const {

@@ -1,0 +1,86 @@
+// Proof of the zero-allocation packet path: after warm-up, a NAT444 echo
+// round trip (device -> CPE -> CGN -> server, reply descending back) must
+// perform no heap allocation at all. The test replaces the global operator
+// new to count allocations; counting is gated so the rest of the binary is
+// unaffected.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "test_topology.hpp"
+
+namespace {
+std::atomic<bool> g_counting{false};
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  if (g_counting.load(std::memory_order_relaxed))
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace cgn::sim {
+namespace {
+
+using netcore::Endpoint;
+
+TEST(HotPathAlloc, CounterSeesAllocations) {
+  g_allocs.store(0);
+  g_counting.store(true);
+  {
+    std::vector<int> v(100);
+    v[0] = 1;
+  }
+  g_counting.store(false);
+  EXPECT_GE(g_allocs.load(), 1u);
+}
+
+TEST(HotPathAlloc, WarmedNat444EchoRoundTripIsAllocationFree) {
+  test::MiniNet world;
+  test::LineConfig cfg;
+  cfg.with_cpe = true;
+  cfg.with_cgn = true;
+  auto line = world.add_line(cfg);
+
+  Endpoint device_ep{line.device_address, 4000};
+  Endpoint server_ep{world.server_address, 5000};
+  std::uint64_t echoed = 0;
+  world.net.set_receiver(world.server_host,
+                         [&](Network& net, const Packet& p) {
+                           net.send(Packet::udp(server_ep, p.src),
+                                    world.server_host);
+                         });
+  line.demux->bind(device_ep.port,
+                   [&](Network&, const Packet&) { ++echoed; });
+
+  // Warm-up: establish the NAT mappings, grow every table past its final
+  // size and fault in the lazy port bitmaps.
+  for (int i = 0; i < 64; ++i)
+    world.net.send(Packet::udp(device_ep, server_ep), line.device);
+  ASSERT_EQ(echoed, 64u);
+
+  constexpr int kRounds = 256;
+  g_allocs.store(0);
+  g_counting.store(true);
+  for (int i = 0; i < kRounds; ++i)
+    world.net.send(Packet::udp(device_ep, server_ep), line.device);
+  g_counting.store(false);
+
+  EXPECT_EQ(echoed, 64u + kRounds);
+  EXPECT_EQ(g_allocs.load(), 0u)
+      << "warmed-up echo round trips must not touch the heap";
+}
+
+}  // namespace
+}  // namespace cgn::sim
