@@ -12,6 +12,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -30,6 +31,7 @@
 #include "report/report.hpp"
 #include "scenario/campaign.hpp"
 #include "scenario/internet.hpp"
+#include "super/supervisor.hpp"
 
 namespace cgn::bench {
 
@@ -47,7 +49,8 @@ inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
 /// the inactive plan (clean runs identical to a no-fault build).
 /// CGN_FAULT_LOSS / CGN_FAULT_DUP are per-hop / per-delivery rates;
 /// CGN_FAULT_UNRESP the deaf-BT-peer fraction; CGN_FAULT_RESTART_S and the
-/// CGN_FAULT_PRESSURE_* knobs drive the CGN device faults.
+/// CGN_FAULT_PRESSURE_* knobs drive the CGN device faults;
+/// CGN_FAULT_SHARD_CRASH kills campaign shard attempts (see cgn::super).
 inline fault::FaultPlan fault_plan_from_env() {
   fault::FaultPlan plan;
   plan.seed = env_u64("CGN_FAULT_SEED", plan.seed);
@@ -59,7 +62,31 @@ inline fault::FaultPlan fault_plan_from_env() {
   plan.nat.pressure_duration_s = env_double("CGN_FAULT_PRESSURE_DUR_S", 0.0);
   plan.nat.pressure_reserve_fraction =
       env_double("CGN_FAULT_PRESSURE_RESERVE", 0.0);
+  plan.shards.crash_rate = env_double("CGN_FAULT_SHARD_CRASH", 0.0);
   return plan;
+}
+
+/// Campaign supervision policy, from the environment. Defaults preserve
+/// historical behaviour (single attempt, quarantine on, no deadlines, no
+/// checkpointing). CGN_SUPER_ATTEMPTS sets the per-shard budget;
+/// CGN_SUPER_SHARD_DEADLINE_S / CGN_SUPER_CAMPAIGN_DEADLINE_S the watchdog
+/// budgets; CGN_SUPER_CHECKPOINT_DIR enables checkpoint/resume (one
+/// `<kind>.ckpt` file per campaign in that directory).
+inline super::SupervisorConfig supervisor_config_from_env(
+    const std::string& kind) {
+  super::SupervisorConfig cfg;
+  cfg.max_attempts = static_cast<int>(env_u64("CGN_SUPER_ATTEMPTS", 1));
+  cfg.shard_deadline_s = env_double("CGN_SUPER_SHARD_DEADLINE_S", 0.0);
+  cfg.campaign_deadline_s = env_double("CGN_SUPER_CAMPAIGN_DEADLINE_S", 0.0);
+  const char* dir = std::getenv("CGN_SUPER_CHECKPOINT_DIR");
+  if (dir && *dir) {
+    // CheckpointWriter::open cannot create directories; make the drill
+    // (point the env at a scratch dir, kill, rerun) just work.
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    cfg.checkpoint_path = std::string(dir) + "/" + kind + ".ckpt";
+  }
+  return cfg;
 }
 
 /// Probe retransmission policy, from the environment. The default
@@ -121,7 +148,8 @@ class World {
       cfg.enum_fraction = enum_fraction;
       cfg.stun_fraction = stun_fraction;
       cfg.retry = retry_policy_from_env();
-      sessions_ = scenario::run_netalyzr_campaign(*internet_, cfg);
+      cfg.supervise = supervisor_config_from_env("netalyzr");
+      sessions_ = scenario::run_netalyzr_campaign(*internet_, cfg, &nz_report_);
       sessions_run_ = true;
     }
     return sessions_;
@@ -134,14 +162,25 @@ class World {
     return *nz_result_;
   }
 
-  /// Combined §5 coverage (triggers both campaigns).
+  /// Combined §5 coverage (triggers both campaigns). Includes
+  /// `measurement` fractions from the supervised campaigns, so a degraded
+  /// (quarantined-shard) run is visible next to the Table 5 numbers.
   const analysis::CoverageResult& coverage() {
     if (!coverage_) {
       coverage_ = std::make_unique<analysis::CoverageResult>(
           analysis::combine_coverage(bt_result(), nz_result(),
                                      internet_->registry));
+      analysis::note_supervision(*coverage_, &bt_report_, &nz_report_);
     }
     return *coverage_;
+  }
+
+  /// Supervision reports of the two campaigns (empty until each runs).
+  [[nodiscard]] const super::CampaignReport& bt_report() const {
+    return bt_report_;
+  }
+  [[nodiscard]] const super::CampaignReport& nz_report() const {
+    return nz_report_;
   }
 
  private:
@@ -150,7 +189,8 @@ class World {
       scenario::run_bittorrent_phase(*internet_);
       scenario::CrawlPhaseConfig cfg;
       cfg.crawl.retry = retry_policy_from_env();
-      crawler_ = scenario::run_crawl_phase(*internet_, cfg);
+      cfg.supervise = supervisor_config_from_env("crawl_ping");
+      crawler_ = scenario::run_crawl_phase(*internet_, cfg, &bt_report_);
     }
   }
 
@@ -161,6 +201,8 @@ class World {
   bool sessions_run_ = false;
   std::unique_ptr<analysis::NetalyzrDetectionResult> nz_result_;
   std::unique_ptr<analysis::CoverageResult> coverage_;
+  super::CampaignReport bt_report_;
+  super::CampaignReport nz_report_;
 };
 
 inline void print_header(const std::string& experiment,
@@ -214,6 +256,31 @@ inline void write_bench_json(const std::string& name, const Figures& figures) {
     first = false;
     obs::json_escape(os, key);
     os << ':' << value;
+  }
+  os << "},\"super\":{";
+  // Supervision rollup: how much of the planned campaign actually ran.
+  // All zeros (coverage 1.0) for unsupervised or failure-free runs.
+  {
+    const std::uint64_t planned =
+        obs::counter("super.shards_planned").value();
+    const std::uint64_t finished =
+        obs::counter("super.shards_ok").value() +
+        obs::counter("super.shards_retried").value() +
+        obs::counter("super.shards_resumed").value();
+    os << "\"shards_planned\":" << planned << ",\"shards_ok\":"
+       << obs::counter("super.shards_ok").value() << ",\"shards_retried\":"
+       << obs::counter("super.shards_retried").value()
+       << ",\"shards_resumed\":"
+       << obs::counter("super.shards_resumed").value()
+       << ",\"shards_quarantined\":"
+       << obs::counter("super.shards_quarantined").value()
+       << ",\"deadline_aborts\":"
+       << obs::counter("super.deadline_aborts").value()
+       << ",\"retry_attempts\":"
+       << obs::counter("super.retry_attempts").value() << ",\"coverage\":"
+       << (planned == 0 ? 1.0
+                        : static_cast<double>(finished) /
+                              static_cast<double>(planned));
   }
   os << "},\"obs\":";
   obs::export_json(os);  // {"metrics":{...},"phases":[...]}

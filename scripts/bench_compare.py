@@ -3,11 +3,22 @@
 
 Usage:
     scripts/bench_compare.py BASELINE FRESH [FRESH2 FRESH3 ...]
+    scripts/bench_compare.py --schema-check FILE [FILE2 ...]
 
 BASELINE is bench/baselines/perf_micro.json (committed); each FRESH is a
 BENCH_perf_micro.json produced by a run of build/bench/bench_perf_micro.
 Pass several fresh files (CI passes three) and the per-metric median is
 compared, which keeps one noisy run from tripping the gate.
+
+--schema-check validates that each FILE is a well-formed bench JSON
+(required keys, figure/phase shapes) without comparing anything; use it to
+vet a freshly regenerated baseline before committing it. Note the "super"
+block is optional: baselines recorded before supervision existed are still
+valid.
+
+Bad input (missing file, malformed JSON, a baseline that is not a bench
+JSON) exits 2 with a one-line diagnosis, never a traceback; a genuine
+perf regression exits 1.
 
 Checks, in order of severity:
   * figures must carry parallel_identical == 1 (1-vs-4-worker campaign
@@ -30,9 +41,58 @@ FAIL_PCT = 30.0
 NOISE_FLOOR_S = 0.05
 
 
+class BadInput(Exception):
+    """A user-input problem: report one line and exit 2, no traceback."""
+
+
 def load(path):
-    with open(path) as f:
-        return json.load(f)
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as e:
+        raise BadInput(f"{path}: cannot read ({e.strerror or e})")
+    except json.JSONDecodeError as e:
+        raise BadInput(f"{path}: malformed JSON at line {e.lineno} "
+                       f"column {e.colno}: {e.msg}")
+
+
+# Required top-level shape of every BENCH_<name>.json. The "super" block is
+# deliberately absent: it was introduced after the first baselines were
+# recorded, and older files must keep validating.
+SCHEMA = {
+    "bench": str,
+    "scale": (int, float),
+    "seed": int,
+    "threads": int,
+    "figures": dict,
+    "obs": dict,
+}
+
+
+def check_schema(doc, path):
+    """Raise BadInput with a precise message if doc is not a bench JSON."""
+    if not isinstance(doc, dict):
+        raise BadInput(f"{path}: top level is {type(doc).__name__}, "
+                       "expected a JSON object")
+    for key, want in SCHEMA.items():
+        if key not in doc:
+            raise BadInput(f"{path}: missing required key \"{key}\"")
+        if not isinstance(doc[key], want):
+            raise BadInput(f"{path}: \"{key}\" is "
+                           f"{type(doc[key]).__name__}, expected "
+                           f"{want.__name__ if isinstance(want, type) else 'number'}")
+    for name, value in doc["figures"].items():
+        if not isinstance(value, (int, float)):
+            raise BadInput(f"{path}: figure \"{name}\" is "
+                           f"{type(value).__name__}, expected a number")
+    obs = doc["obs"]
+    for key in ("metrics", "phases"):
+        if key not in obs:
+            raise BadInput(f"{path}: missing required key \"obs.{key}\"")
+    for i, p in enumerate(obs["phases"]):
+        if not isinstance(p, dict) or not {"phase", "wall_s", "depth"} <= set(p):
+            raise BadInput(f"{path}: obs.phases[{i}] lacks "
+                           "phase/wall_s/depth")
 
 
 def phase_walls(doc):
@@ -59,11 +119,26 @@ def median_fresh(docs):
 
 
 def main(argv):
+    if len(argv) >= 2 and argv[1] == "--schema-check":
+        if len(argv) < 3:
+            print("bench_compare: --schema-check needs at least one file",
+                  file=sys.stderr)
+            return 2
+        for path in argv[2:]:
+            check_schema(load(path), path)
+            print(f"ok   {path}: schema valid")
+        return 0
+
     if len(argv) < 3:
         print(__doc__, file=sys.stderr)
         return 2
     baseline = load(argv[1])
-    fresh_docs = [load(p) for p in argv[2:]]
+    check_schema(baseline, argv[1])
+    fresh_docs = []
+    for path in argv[2:]:
+        doc = load(path)
+        check_schema(doc, path)
+        fresh_docs.append(doc)
     figures, phases = median_fresh(fresh_docs)
 
     failed = False
@@ -117,4 +192,8 @@ def main(argv):
 
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv))
+    try:
+        sys.exit(main(sys.argv))
+    except BadInput as e:
+        print(f"bench_compare: {e}", file=sys.stderr)
+        sys.exit(2)

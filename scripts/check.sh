@@ -10,6 +10,9 @@
 #   bench    bench smoke: bench_perf_micro at 1 and 4 workers, fingerprints
 #            byte-identical, phase timings vs bench/baselines/ (see
 #            scripts/bench_smoke.sh and scripts/bench_compare.py)
+#   recovery kill → resume differential smoke (build/): ctest -R
+#            'SuperRecovery' serial and at 4 workers — resumed campaigns
+#            must be byte-identical to uninterrupted ones
 #
 # Usage: scripts/check.sh [stage...]
 #        scripts/check.sh                # format tier1 asan tsan (historical
@@ -48,8 +51,18 @@ stage_tsan() {
   cmake -B build-tsan -S . -DCGN_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j --target cgn_tests
   CGN_THREADS=4 ctest --test-dir build-tsan --output-on-failure \
-    -R 'RunShards|ConfiguredThreads|RngFork|ThreadClockScope|CampaignParallel|Fault|RouteCache' \
+    -R 'RunShards|ConfiguredThreads|RngFork|ThreadClockScope|CampaignParallel|Fault|RouteCache|Super' \
     -j "$(nproc)"
+}
+
+stage_recovery() {
+  echo "== recovery: kill → resume differential smoke (build/) =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j --target cgn_tests
+  # The differential inside each test already compares worker counts; the
+  # CGN_THREADS sweep additionally exercises the default-thread plumbing.
+  CGN_THREADS=1 ctest --test-dir build --output-on-failure -R 'SuperRecovery'
+  CGN_THREADS=4 ctest --test-dir build --output-on-failure -R 'SuperRecovery'
 }
 
 stage_bench() {
@@ -69,7 +82,7 @@ fi
 
 for stage in "${stages[@]}"; do
   case "$stage" in
-    format|tier1|asan|tsan|bench) "stage_$stage" ;;
+    format|tier1|asan|tsan|bench|recovery) "stage_$stage" ;;
     *) echo "check.sh: unknown stage '$stage'" >&2; exit 2 ;;
   esac
 done

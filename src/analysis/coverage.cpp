@@ -87,4 +87,17 @@ CoverageResult combine_coverage(const BtDetectionResult& bt,
   return out;
 }
 
+void note_supervision(CoverageResult& result,
+                      const super::CampaignReport* bt_report,
+                      const super::CampaignReport* nz_report) {
+  if (bt_report != nullptr) {
+    result.measurement.bt_shards_planned = bt_report->planned();
+    result.measurement.bt_shards_completed = bt_report->finished();
+  }
+  if (nz_report != nullptr) {
+    result.measurement.nz_shards_planned = nz_report->planned();
+    result.measurement.nz_shards_completed = nz_report->finished();
+  }
+}
+
 }  // namespace cgn::analysis

@@ -11,6 +11,7 @@
 #include "analysis/bt_detector.hpp"
 #include "analysis/netalyzr_detector.hpp"
 #include "netcore/as_registry.hpp"
+#include "super/supervisor.hpp"
 
 namespace cgn::analysis {
 
@@ -55,10 +56,41 @@ struct RegionRollup {
   std::array<std::size_t, netcore::kRirCount> cellular_positive{};
 };
 
+/// How much of each supervised campaign's *measurement plan* actually ran.
+/// Quarantined or deadline-aborted shards degrade these fractions below
+/// 1.0 — the paper's coverage tables are then lower bounds, and analyses
+/// should report them next to the Table 5 numbers instead of presenting a
+/// partial campaign as a complete one.
+struct MeasurementCoverage {
+  std::size_t bt_shards_planned = 0;  ///< ping-sweep shards (BT method)
+  std::size_t bt_shards_completed = 0;
+  std::size_t nz_shards_planned = 0;  ///< per-ISP Netalyzr shards
+  std::size_t nz_shards_completed = 0;
+
+  [[nodiscard]] double bt_fraction() const noexcept {
+    return bt_shards_planned == 0
+               ? 1.0
+               : static_cast<double>(bt_shards_completed) /
+                     static_cast<double>(bt_shards_planned);
+  }
+  [[nodiscard]] double nz_fraction() const noexcept {
+    return nz_shards_planned == 0
+               ? 1.0
+               : static_cast<double>(nz_shards_completed) /
+                     static_cast<double>(nz_shards_planned);
+  }
+  /// True when either campaign lost shards to quarantine/deadlines.
+  [[nodiscard]] bool degraded() const noexcept {
+    return bt_shards_completed < bt_shards_planned ||
+           nz_shards_completed < nz_shards_planned;
+  }
+};
+
 struct CoverageResult {
   std::unordered_map<netcore::Asn, CombinedVerdict> per_as;
   Table5 table5;
   RegionRollup regions;
+  MeasurementCoverage measurement;
 
   /// Every CGN-positive AS across all methods (input to the §6 deep dives).
   [[nodiscard]] std::unordered_set<netcore::Asn> cgn_positive_ases() const {
@@ -73,5 +105,13 @@ struct CoverageResult {
 [[nodiscard]] CoverageResult combine_coverage(
     const BtDetectionResult& bt, const NetalyzrDetectionResult& nz,
     const netcore::AsRegistry& registry);
+
+/// Folds the supervised campaigns' shard reports into
+/// `result.measurement`. Either report may be null (campaign ran
+/// unsupervised or was skipped) — its planned/completed counts then stay
+/// zero and the corresponding fraction reads 1.0.
+void note_supervision(CoverageResult& result,
+                      const super::CampaignReport* bt_report,
+                      const super::CampaignReport* nz_report);
 
 }  // namespace cgn::analysis

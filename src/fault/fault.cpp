@@ -47,6 +47,8 @@ std::string FaultPlan::describe() const {
      << " pressure_period=" << nat.pressure_period_s
      << " pressure_duration=" << nat.pressure_duration_s
      << " pressure_reserve=" << nat.pressure_reserve_fraction;
+  // Appended only when set so plans predating shard crashes keep their hash.
+  if (shards.crash_rate > 0) os << " shard_crash=" << shards.crash_rate;
   return os.str();
 }
 
@@ -61,6 +63,18 @@ FaultInjector::FaultInjector(FaultPlan plan)
 sim::Rng FaultInjector::substream(std::uint64_t salt,
                                   std::uint64_t shard) const {
   return sim::Rng::fork(mix_salt(plan_.seed, salt), shard);
+}
+
+bool FaultInjector::shard_crash(std::uint64_t campaign_salt,
+                                std::uint64_t shard, int attempt) const {
+  const double rate = plan_.shards.crash_rate;
+  if (rate <= 0 || attempt <= 0) return false;
+  // One substream per (campaign, shard); draw `attempt` variates so each
+  // attempt's fate is independent yet replayable in isolation.
+  sim::Rng rng = substream(kSaltShardCrash + (campaign_salt << 8), shard);
+  double draw = 1.0;
+  for (int i = 0; i < attempt; ++i) draw = rng.uniform01();
+  return draw < rate;
 }
 
 bool FaultInjector::drop_at_hop() {

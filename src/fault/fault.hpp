@@ -45,6 +45,18 @@ struct PeerFaults {
   }
 };
 
+/// Campaign-infrastructure faults: a measurement *worker* (not the network)
+/// dies and takes its shard with it — the collector crashes Richter et al.'s
+/// long crawls had to survive. Crashes fire at shard dispatch, before the
+/// shard body runs, so a supervised retry replays a clean substream and
+/// stays bit-identical (see cgn::super).
+struct ShardFaults {
+  /// P(a given shard attempt is killed), drawn independently per attempt
+  /// from fork(plan.seed ^ salt, shard) — a pure function of what the
+  /// shard is, so crash patterns are thread-count invariant.
+  double crash_rate = 0.0;
+};
+
 /// CGN device faults: scheduled restarts that flush all dynamic state
 /// (mappings, port accounting, chunk assignments) and transient port-pool
 /// pressure windows during which part of the external port range is
@@ -65,11 +77,13 @@ struct FaultPlan {
   LinkFaults link;
   PeerFaults peers;
   NatFaults nat;
+  ShardFaults shards;
 
   [[nodiscard]] bool active() const {
     return link.loss_rate > 0 || link.duplication_rate > 0 ||
            peers.unresponsive_fraction > 0 || !peers.by_as.empty() ||
-           nat.restart_period_s > 0 || nat.pressure_period_s > 0;
+           nat.restart_period_s > 0 || nat.pressure_period_s > 0 ||
+           shards.crash_rate > 0;
   }
 
   /// Canonical one-line rendering (also the hash input).
@@ -86,6 +100,7 @@ inline constexpr std::uint64_t kSaltNetalyzr = 1;
 inline constexpr std::uint64_t kSaltPingSweep = 2;
 inline constexpr std::uint64_t kSaltBuilder = 3;
 inline constexpr std::uint64_t kSaltRetryJitter = 4;
+inline constexpr std::uint64_t kSaltShardCrash = 5;
 
 class FaultInjector;
 
@@ -129,6 +144,14 @@ class FaultInjector {
   /// builder derive their decision streams here.
   [[nodiscard]] sim::Rng substream(std::uint64_t salt,
                                    std::uint64_t shard) const;
+
+  /// True when `attempt` (1-based) of `shard` under `campaign_salt` is
+  /// killed at dispatch. A pure function of (plan seed, salt, shard,
+  /// attempt): cgn::super consults it before running the shard body, so
+  /// crash patterns are thread-count invariant and retries can
+  /// deterministically succeed.
+  [[nodiscard]] bool shard_crash(std::uint64_t campaign_salt,
+                                 std::uint64_t shard, int attempt) const;
 
   /// Marks (node, port) as an unresponsive endpoint: inbound packets to it
   /// are dropped at delivery. Build-time only; reads are lock-free.

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 #include <exception>
+#include <sstream>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -28,8 +30,8 @@ void run_shards(std::size_t shard_count,
   if (threads == 0) threads = configured_threads();
   const std::size_t workers = threads < shard_count ? threads : shard_count;
 
-  // Exceptions recorded per shard so the rethrow choice (lowest shard
-  // index) is independent of worker timing.
+  // Exceptions recorded per shard so the rethrow (single failure) or the
+  // aggregate message (several) is independent of worker timing.
   std::vector<std::exception_ptr> errors(shard_count);
 
   auto run_worker = [&](std::size_t w) {
@@ -58,8 +60,32 @@ void run_shards(std::size_t shard_count,
     for (auto& t : pool) t.join();
   }
 
-  for (auto& e : errors)
-    if (e) std::rethrow_exception(e);
+  std::vector<std::size_t> failed;
+  for (std::size_t shard = 0; shard < shard_count; ++shard)
+    if (errors[shard]) failed.push_back(shard);
+  if (failed.empty()) return;
+  // A lone failure keeps its original type (callers catch specific
+  // exceptions); multiple failures are aggregated so none is silently
+  // dropped — shard ids in ascending order, capped detail.
+  if (failed.size() == 1) std::rethrow_exception(errors[failed[0]]);
+
+  std::ostringstream os;
+  os << failed.size() << " of " << shard_count << " shards failed: ";
+  constexpr std::size_t kMaxDetail = 4;
+  for (std::size_t i = 0; i < failed.size() && i < kMaxDetail; ++i) {
+    if (i > 0) os << "; ";
+    os << "shard " << failed[i] << ": ";
+    try {
+      std::rethrow_exception(errors[failed[i]]);
+    } catch (const std::exception& e) {
+      os << e.what();
+    } catch (...) {
+      os << "unknown exception";
+    }
+  }
+  if (failed.size() > kMaxDetail)
+    os << "; (+" << failed.size() - kMaxDetail << " more)";
+  throw std::runtime_error(std::move(os).str());
 }
 
 }  // namespace cgn::par

@@ -15,9 +15,9 @@
 //    shard observes another's randomness or time.
 //  * Worker w installs obs thread slot w + 1 (obs::ThreadSlotScope) for its
 //    whole lifetime; metric cells stay single-writer and merge exactly.
-//  * run_shards() is a barrier: all shards finish (or the first exception
-//    is rethrown on the caller) before it returns. Callers then merge
-//    per-shard results in shard order.
+//  * run_shards() is a barrier: all shards finish before it returns; any
+//    shard failures are rethrown on the caller afterwards. Callers then
+//    merge per-shard results in shard order.
 //
 // Because assignment is static and shards touch disjoint simulation state,
 // the worker count only changes wall-clock time, never results — including
@@ -37,10 +37,13 @@ namespace cgn::par {
 /// `threads` workers (0 -> configured_threads()) with the static
 /// round-robin assignment described above, and blocks until all shards
 /// complete. With one worker (or one shard) everything runs inline on the
-/// calling thread — same code path, no threads spawned. If any shard
-/// throws, the lowest-indexed exception is rethrown after the barrier.
-/// shard_fn must not touch state shared with other shards unless that
-/// state is internally synchronized.
+/// calling thread — same code path, no threads spawned. If exactly one
+/// shard throws, its exception is rethrown unchanged after the barrier;
+/// if several throw, a std::runtime_error aggregating the failure count
+/// and the first few shard ids/messages is thrown instead (deterministic:
+/// built in ascending shard order, never worker order), so no failure is
+/// silently dropped. shard_fn must not touch state shared with other
+/// shards unless that state is internally synchronized.
 void run_shards(std::size_t shard_count,
                 const std::function<void(std::size_t)>& shard_fn,
                 std::size_t threads = 0);

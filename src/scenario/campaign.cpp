@@ -1,12 +1,145 @@
 #include "scenario/campaign.hpp"
 
 #include <algorithm>
+#include <string_view>
 #include <unordered_map>
 
 #include "obs/profiler.hpp"
-#include "par/thread_pool.hpp"
+#include "super/wire.hpp"
 
 namespace cgn::scenario {
+
+namespace {
+
+// --- Checkpoint payload codecs ---------------------------------------------
+//
+// Shard payloads round-trip *every* field of the shard's results plus its
+// end-of-shard virtual time (the campaign clock advances to the latest
+// shard end, so a resumed run must restore it exactly). Fixed-width
+// little-endian encoding via super::wire — see DESIGN.md §11. Bump the
+// payload version constants when a struct here changes shape.
+
+constexpr std::uint64_t kNetalyzrPayloadVersion = 1;
+constexpr std::uint64_t kPingPayloadVersion = 1;
+
+void put_endpoint(super::wire::Writer& w, const netcore::Endpoint& ep) {
+  w.u32(ep.address.value());
+  w.u16(ep.port);
+}
+
+netcore::Endpoint get_endpoint(super::wire::Reader& r) {
+  const std::uint32_t address = r.u32();
+  const std::uint16_t port = r.u16();
+  return {netcore::Ipv4Address(address), port};
+}
+
+void put_session(super::wire::Writer& w, const netalyzr::SessionResult& s) {
+  w.u32(s.asn);
+  w.boolean(s.cellular);
+  w.u32(s.ip_dev.value());
+  w.boolean(s.ip_cpe.has_value());
+  if (s.ip_cpe) w.u32(s.ip_cpe->value());
+  w.boolean(s.cpe_model.has_value());
+  if (s.cpe_model) w.str(*s.cpe_model);
+  w.boolean(s.ip_pub.has_value());
+  if (s.ip_pub) w.u32(s.ip_pub->value());
+  w.u32(static_cast<std::uint32_t>(s.tcp_flows.size()));
+  for (const netalyzr::FlowObservation& f : s.tcp_flows) {
+    w.u16(f.local_port);
+    put_endpoint(w, f.observed);
+  }
+  w.boolean(s.stun.has_value());
+  if (s.stun) {
+    w.u8(static_cast<std::uint8_t>(s.stun->type));
+    w.boolean(s.stun->mapped.has_value());
+    if (s.stun->mapped) put_endpoint(w, *s.stun->mapped);
+  }
+  w.boolean(s.enumeration.has_value());
+  if (s.enumeration) {
+    w.u32(static_cast<std::uint32_t>(s.enumeration->path_hops));
+    w.u32(static_cast<std::uint32_t>(s.enumeration->hops.size()));
+    for (const netalyzr::NatHopObservation& h : s.enumeration->hops) {
+      w.u32(static_cast<std::uint32_t>(h.hop));
+      w.boolean(h.stateful);
+      w.boolean(h.timeout_s.has_value());
+      if (h.timeout_s) w.f64(*h.timeout_s);
+    }
+    w.u32(static_cast<std::uint32_t>(s.enumeration->experiments));
+  }
+}
+
+netalyzr::SessionResult get_session(super::wire::Reader& r) {
+  netalyzr::SessionResult s;
+  s.asn = r.u32();
+  s.cellular = r.boolean();
+  s.ip_dev = netcore::Ipv4Address(r.u32());
+  if (r.boolean()) s.ip_cpe = netcore::Ipv4Address(r.u32());
+  if (r.boolean()) s.cpe_model = std::string(r.str());
+  if (r.boolean()) s.ip_pub = netcore::Ipv4Address(r.u32());
+  const std::uint32_t flows = r.u32();
+  for (std::uint32_t i = 0; i < flows && r.ok(); ++i) {
+    netalyzr::FlowObservation f;
+    f.local_port = r.u16();
+    f.observed = get_endpoint(r);
+    s.tcp_flows.push_back(f);
+  }
+  if (r.boolean()) {
+    stun::StunOutcome outcome;
+    outcome.type = static_cast<stun::StunType>(r.u8());
+    if (r.boolean()) outcome.mapped = get_endpoint(r);
+    s.stun = outcome;
+  }
+  if (r.boolean()) {
+    netalyzr::TtlEnumResult e;
+    e.path_hops = static_cast<int>(r.u32());
+    const std::uint32_t hops = r.u32();
+    for (std::uint32_t i = 0; i < hops && r.ok(); ++i) {
+      netalyzr::NatHopObservation h;
+      h.hop = static_cast<int>(r.u32());
+      h.stateful = r.boolean();
+      if (r.boolean()) h.timeout_s = r.f64();
+      e.hops.push_back(h);
+    }
+    e.experiments = static_cast<int>(r.u32());
+    s.enumeration = std::move(e);
+  }
+  return s;
+}
+
+void put_contact(super::wire::Writer& w, const dht::Contact& c) {
+  w.raw(c.id.bytes().data(), c.id.bytes().size());
+  put_endpoint(w, c.endpoint);
+}
+
+dht::Contact get_contact(super::wire::Reader& r) {
+  dht::Contact c;
+  std::string_view bytes = r.raw(dht::NodeId160::Bytes{}.size());
+  if (bytes.size() == dht::NodeId160::Bytes{}.size()) {
+    dht::NodeId160::Bytes id{};
+    std::copy(bytes.begin(), bytes.end(), id.begin());
+    c.id = dht::NodeId160(id);
+  }
+  c.endpoint = get_endpoint(r);
+  return c;
+}
+
+/// Fills driver-owned identity fields of a caller-supplied supervision
+/// config: the checkpoint key must bind to *this* world and plan no matter
+/// what the caller left in the struct.
+super::SupervisorConfig stamped(super::SupervisorConfig cfg,
+                                const Internet& internet,
+                                std::string kind, std::uint64_t salt,
+                                std::uint64_t payload_version) {
+  cfg.campaign_kind = std::move(kind);
+  cfg.world_seed = internet.config.seed;
+  cfg.plan_hash = internet.faults->plan().hash();
+  cfg.payload_version = payload_version;
+  cfg.faults = internet.faults.get();
+  cfg.salt = salt;
+  return cfg;
+}
+
+}  // namespace
 
 void run_bittorrent_phase(Internet& internet,
                           const BitTorrentPhaseConfig& config) {
@@ -57,7 +190,8 @@ void run_bittorrent_phase(Internet& internet,
 }
 
 std::unique_ptr<crawler::DhtCrawler> run_crawl_phase(
-    Internet& internet, const CrawlPhaseConfig& config) {
+    Internet& internet, const CrawlPhaseConfig& config,
+    super::CampaignReport* report_out) {
   obs::ScopedPhase phase("campaign.crawl");
   auto crawler = std::make_unique<crawler::DhtCrawler>(
       internet.servers.crawler_host, internet.servers.crawler_endpoint,
@@ -99,13 +233,46 @@ std::unique_ptr<crawler::DhtCrawler> run_crawl_phase(
   std::vector<crawler::DhtCrawler::PingShardOutcome> outcomes(shards.size());
   const sim::SimTime sweep_t0 = internet.clock.now();
   std::vector<sim::SimTime> sweep_end(shards.size(), sweep_t0);
-  par::run_shards(
+
+  super::ShardCodec codec;
+  codec.encode = [&](std::size_t s) {
+    super::wire::Writer w;
+    w.f64(sweep_end[s]);
+    const auto& outcome = outcomes[s];
+    w.u32(static_cast<std::uint32_t>(outcome.responders.size()));
+    for (const dht::Contact& c : outcome.responders) put_contact(w, c);
+    w.u64(outcome.pings_sent);
+    w.u64(outcome.pongs_received);
+    return w.take();
+  };
+  codec.decode = [&](std::size_t s, std::string_view payload) {
+    super::wire::Reader r(payload);
+    const sim::SimTime end = r.f64();
+    crawler::DhtCrawler::PingShardOutcome outcome;
+    const std::uint32_t responders = r.u32();
+    for (std::uint32_t i = 0; i < responders && r.ok(); ++i)
+      outcome.responders.push_back(get_contact(r));
+    outcome.pings_sent = r.u64();
+    outcome.pongs_received = r.u64();
+    if (!r.done()) return false;
+    sweep_end[s] = end;
+    outcomes[s] = std::move(outcome);
+    return true;
+  };
+
+  super::ShardSupervisor supervisor(stamped(config.supervise, internet,
+                                            "crawl_ping", fault::kSaltPingSweep,
+                                            kPingPayloadVersion));
+  super::CampaignReport report = supervisor.run(
       shards.size(),
       [&](std::size_t s) {
         // Shards probe concurrently on private timelines (retry backoff
         // costs virtual time) and draw fault/jitter decisions from
         // shard-keyed substreams — all functions of what the shard is,
-        // never of which worker runs it.
+        // never of which worker runs it. A retry starts from a clean
+        // outcome, replaying the same substreams bit-identically.
+        outcomes[s] = {};
+        sweep_end[s] = sweep_t0;
         sim::Clock clock;
         clock.set(sweep_t0);
         sim::ThreadClockScope clock_scope(clock);
@@ -117,16 +284,26 @@ std::unique_ptr<crawler::DhtCrawler> run_crawl_phase(
                                           &jitter);
         sweep_end[s] = clock.now();
       },
-      config.threads);
+      &codec, config.threads);
+
+  // Quarantined/aborted shards contribute nothing: the dataset degrades to
+  // the finished shards' coverage instead of the sweep dying outright.
+  for (std::size_t s = 0; s < report.shards.size(); ++s)
+    if (!report.shards[s].finished()) {
+      outcomes[s] = {};
+      sweep_end[s] = sweep_t0;
+    }
   crawler->absorb_ping_outcomes(outcomes);
   sim::SimTime sweep_done = sweep_t0;
   for (sim::SimTime t : sweep_end) sweep_done = std::max(sweep_done, t);
   internet.clock.set(sweep_done);
+  if (report_out != nullptr) *report_out = std::move(report);
   return crawler;
 }
 
 std::vector<netalyzr::SessionResult> run_netalyzr_campaign(
-    Internet& internet, const NetalyzrCampaignConfig& config) {
+    Internet& internet, const NetalyzrCampaignConfig& config,
+    super::CampaignReport* report_out) {
   obs::ScopedPhase phase("campaign.netalyzr");
   // One fork keeps the Internet's RNG sequence aligned with earlier
   // drivers; its first output seeds every shard substream.
@@ -148,9 +325,38 @@ std::vector<netalyzr::SessionResult> run_netalyzr_campaign(
       shard_isps.size());
   std::vector<sim::SimTime> shard_end(shard_isps.size(), t0);
 
-  par::run_shards(
+  super::ShardCodec codec;
+  codec.encode = [&](std::size_t s) {
+    super::wire::Writer w;
+    w.f64(shard_end[s]);
+    w.u32(static_cast<std::uint32_t>(shard_results[s].size()));
+    for (const netalyzr::SessionResult& session : shard_results[s])
+      put_session(w, session);
+    return w.take();
+  };
+  codec.decode = [&](std::size_t s, std::string_view payload) {
+    super::wire::Reader r(payload);
+    const sim::SimTime end = r.f64();
+    std::vector<netalyzr::SessionResult> sessions;
+    const std::uint32_t count = r.u32();
+    for (std::uint32_t i = 0; i < count && r.ok(); ++i)
+      sessions.push_back(get_session(r));
+    if (!r.done()) return false;
+    shard_end[s] = end;
+    shard_results[s] = std::move(sessions);
+    return true;
+  };
+
+  super::ShardSupervisor supervisor(
+      stamped(config.supervise, internet, "netalyzr", fault::kSaltNetalyzr,
+              kNetalyzrPayloadVersion));
+  super::CampaignReport report = supervisor.run(
       shard_isps.size(),
       [&](std::size_t s) {
+        // A retry replays the shard from scratch: same substreams, same
+        // rebased clock, empty result vector.
+        shard_results[s].clear();
+        shard_end[s] = t0;
         IspInstance& isp = *shard_isps[s];
         sim::Rng rng = sim::Rng::fork(campaign_seed, s);
         // Per-ISP vantage points measure concurrently, so each shard
@@ -194,13 +400,22 @@ std::vector<netalyzr::SessionResult> run_netalyzr_campaign(
         if (isp.cgn) isp.cgn->collect_garbage(clock.now());
         shard_end[s] = clock.now();
       },
-      config.threads);
+      &codec, config.threads);
+
+  // Quarantined/aborted shards contribute no sessions — degraded coverage,
+  // reported through `report_out` and analysis::MeasurementCoverage.
+  for (std::size_t s = 0; s < report.shards.size(); ++s)
+    if (!report.shards[s].finished()) {
+      shard_results[s].clear();
+      shard_end[s] = t0;
+    }
 
   // Vantage points ran concurrently: the campaign took as long as its
   // longest shard.
   sim::SimTime end = t0;
   for (sim::SimTime t : shard_end) end = std::max(end, t);
   internet.clock.set(end);
+  if (report_out != nullptr) *report_out = std::move(report);
 
   // Merge in shard (ISP) order — the same order the serial loop visited.
   std::vector<netalyzr::SessionResult> results;

@@ -18,6 +18,7 @@
 #include "fault/retry.hpp"
 #include "netalyzr/client.hpp"
 #include "scenario/internet.hpp"
+#include "super/supervisor.hpp"
 
 namespace cgn::scenario {
 
@@ -46,11 +47,19 @@ struct CrawlPhaseConfig {
   /// Workers for the bt_ping sweep: 0 reads CGN_THREADS (default serial).
   /// Results are identical for every worker count (see cgn::par).
   std::size_t threads = 0;
+  /// Supervision for the ping-sweep shards (retry budget, quarantine,
+  /// deadlines, checkpoint path). Campaign identity fields
+  /// (campaign_kind/world_seed/plan_hash/faults/salt) are filled by the
+  /// driver — callers set only the policy knobs.
+  super::SupervisorConfig supervise;
 };
 
 /// Runs a full crawl (including the bt_ping sweep) and returns the crawler.
+/// `report_out`, when non-null, receives the ping sweep's per-shard
+/// supervision report (which shards were retried/quarantined/resumed).
 std::unique_ptr<crawler::DhtCrawler> run_crawl_phase(
-    Internet& internet, const CrawlPhaseConfig& config = {});
+    Internet& internet, const CrawlPhaseConfig& config = {},
+    super::CampaignReport* report_out = nullptr);
 
 struct NetalyzrCampaignConfig {
   /// Fraction of sessions that additionally run the TTL enumeration test
@@ -65,9 +74,17 @@ struct NetalyzrCampaignConfig {
   /// Workers for the per-ISP session shards: 0 reads CGN_THREADS (default
   /// serial). Results are identical for every worker count (see cgn::par).
   std::size_t threads = 0;
+  /// Supervision for the per-ISP shards (retry budget, quarantine,
+  /// deadlines, checkpoint path). Identity fields are filled by the driver.
+  super::SupervisorConfig supervise;
 };
 
+/// Runs the Netalyzr campaign. `report_out`, when non-null, receives the
+/// per-shard supervision report. A quarantined (or deadline-aborted) shard
+/// contributes no sessions: the campaign completes with degraded coverage
+/// instead of aborting (see analysis::MeasurementCoverage).
 [[nodiscard]] std::vector<netalyzr::SessionResult> run_netalyzr_campaign(
-    Internet& internet, const NetalyzrCampaignConfig& config = {});
+    Internet& internet, const NetalyzrCampaignConfig& config = {},
+    super::CampaignReport* report_out = nullptr);
 
 }  // namespace cgn::scenario

@@ -1,0 +1,118 @@
+#include "super/checkpoint.hpp"
+
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "super/wire.hpp"
+
+namespace cgn::super {
+
+namespace {
+
+obs::Counter& g_ckpt_loaded = obs::counter("super.checkpoint_shards_loaded");
+obs::Counter& g_ckpt_mismatch = obs::counter("super.checkpoint_key_mismatch");
+obs::Counter& g_ckpt_corrupt = obs::counter("super.checkpoint_corrupt_tail");
+
+constexpr char kMagic[8] = {'C', 'G', 'N', 'C', 'K', 'P', 'T', '\n'};
+
+std::string encode_header(const CheckpointKey& key) {
+  wire::Writer w;
+  w.raw(kMagic, sizeof kMagic);
+  w.u32(kCheckpointFileVersion);
+  w.str(key.kind);
+  w.u64(key.world_seed);
+  w.u64(key.plan_hash);
+  w.u64(key.shard_count);
+  w.u64(key.payload_version);
+  return w.take();
+}
+
+/// Parses the header at the front of `r`. Returns true and fills `key`
+/// only for a well-formed current-version header.
+bool decode_header(wire::Reader& r, CheckpointKey& key) {
+  std::string_view magic = r.raw(sizeof kMagic);
+  if (magic != std::string_view(kMagic, sizeof kMagic)) return false;
+  if (r.u32() != kCheckpointFileVersion) return false;
+  key.kind = std::string(r.str());
+  key.world_seed = r.u64();
+  key.plan_hash = r.u64();
+  key.shard_count = r.u64();
+  key.payload_version = r.u64();
+  return r.ok();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return {};
+  std::ostringstream os;
+  os << is.rdbuf();
+  return std::move(os).str();
+}
+
+}  // namespace
+
+std::unordered_map<std::uint64_t, std::string> load_checkpoint(
+    const std::string& path, const CheckpointKey& key) {
+  std::unordered_map<std::uint64_t, std::string> out;
+  const std::string bytes = slurp(path);
+  if (bytes.empty()) return out;
+
+  wire::Reader r(bytes);
+  CheckpointKey on_disk;
+  if (!decode_header(r, on_disk) || !(on_disk == key)) {
+    g_ckpt_mismatch.inc();
+    return out;
+  }
+  while (r.remaining() > 0) {
+    const std::uint64_t shard = r.u64();
+    std::string_view payload = r.str();
+    const std::uint64_t checksum = r.u64();
+    if (!r.ok() || checksum != wire::fnv1a(payload)) {
+      // Truncated or corrupt tail (killed mid-write): keep the valid
+      // prefix — exactly the shards whose records were fully flushed.
+      g_ckpt_corrupt.inc();
+      break;
+    }
+    out[shard] = std::string(payload);
+  }
+  g_ckpt_loaded.inc(out.size());
+  return out;
+}
+
+void CheckpointWriter::open(const std::string& path, const CheckpointKey& key) {
+  bool resume = false;
+  {
+    const std::string bytes = slurp(path);
+    if (!bytes.empty()) {
+      wire::Reader r(bytes);
+      CheckpointKey on_disk;
+      resume = decode_header(r, on_disk) && on_disk == key;
+    }
+  }
+  if (resume) {
+    os_.open(path, std::ios::binary | std::ios::app);
+  } else {
+    os_.open(path, std::ios::binary | std::ios::trunc);
+    if (os_) {
+      const std::string header = encode_header(key);
+      os_.write(header.data(), static_cast<std::streamsize>(header.size()));
+      os_.flush();
+    }
+  }
+}
+
+void CheckpointWriter::append(std::uint64_t shard, std::string_view payload) {
+  wire::Writer w;
+  w.u64(shard);
+  w.str(payload);
+  w.u64(wire::fnv1a(payload));
+  const std::string record = w.take();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!os_) return;
+  os_.write(record.data(), static_cast<std::streamsize>(record.size()));
+  // Flush per record: a kill between appends must leave a parsable prefix.
+  os_.flush();
+}
+
+}  // namespace cgn::super

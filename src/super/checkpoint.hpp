@@ -1,0 +1,72 @@
+// Shard-granular campaign checkpoints.
+//
+// A checkpoint file is an append-only log: a versioned header identifying
+// the campaign (kind, world seed, fault-plan hash, shard count, payload
+// version) followed by one record per completed shard. Writers flush after
+// every record, so a campaign killed at any instant leaves a valid prefix;
+// loaders verify a per-record FNV-1a checksum and stop at the first
+// truncated or corrupt record. A resumed campaign loads the surviving
+// records, skips those shards, and appends the rest to the same file.
+//
+// The header key guards against resuming into the wrong world: any
+// mismatch (different seed, plan, shard decomposition or payload schema)
+// makes the loader return nothing and the writer start the file over.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace cgn::super {
+
+/// File format revision (bumped when the container layout changes).
+inline constexpr std::uint32_t kCheckpointFileVersion = 1;
+
+/// Identity of one checkpointable campaign. Two runs may share a
+/// checkpoint file iff every field matches.
+struct CheckpointKey {
+  std::string kind;               ///< e.g. "netalyzr", "crawl_ping"
+  std::uint64_t world_seed = 0;   ///< InternetConfig::seed
+  std::uint64_t plan_hash = 0;    ///< FaultPlan::hash()
+  std::uint64_t shard_count = 0;  ///< campaign shard decomposition size
+  /// Payload schema version (bumped when a shard codec changes shape).
+  std::uint64_t payload_version = 1;
+
+  bool operator==(const CheckpointKey&) const = default;
+};
+
+/// Loads every valid record of `path` whose header matches `key`:
+/// shard index -> payload bytes (last record wins if a shard repeats).
+/// A missing file, foreign/corrupt header or key mismatch loads nothing;
+/// a corrupt or truncated tail keeps the valid prefix.
+[[nodiscard]] std::unordered_map<std::uint64_t, std::string> load_checkpoint(
+    const std::string& path, const CheckpointKey& key);
+
+/// Appends completed-shard records to a checkpoint file. Thread-safe:
+/// campaign workers append concurrently, each record is written atomically
+/// under a lock and flushed before append() returns.
+class CheckpointWriter {
+ public:
+  CheckpointWriter() = default;
+  CheckpointWriter(const CheckpointWriter&) = delete;
+  CheckpointWriter& operator=(const CheckpointWriter&) = delete;
+
+  /// Opens `path` for appending. When the file already carries a matching
+  /// header the existing records are kept (resume); otherwise the file is
+  /// truncated and a fresh header written.
+  void open(const std::string& path, const CheckpointKey& key);
+
+  [[nodiscard]] bool is_open() const noexcept { return os_.is_open(); }
+
+  /// Appends one shard record (locked + flushed).
+  void append(std::uint64_t shard, std::string_view payload);
+
+ private:
+  std::mutex mu_;
+  std::ofstream os_;
+};
+
+}  // namespace cgn::super

@@ -1,0 +1,152 @@
+// Edge cases of fault::RetryPolicy / retry_loop: attempt-budget
+// boundaries, the scoped-timeline rewind under zero and extreme backoff,
+// and the thread-count invariance of jittered backoff schedules (jitter
+// draws come from shard-keyed substreams, so a 4-worker partition replays
+// the exact waits the serial sweep saw).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "fault/retry.hpp"
+#include "sim/clock.hpp"
+#include "sim/rng.hpp"
+
+namespace cgn::fault {
+namespace {
+
+TEST(RetryEdge, ZeroAttemptsStillRunsTheProbeOnce) {
+  // attempts = 0 is a config error; the loop clamps it to one try so a
+  // probe can never be silently skipped.
+  RetryPolicy policy;
+  policy.attempts = 0;
+  int calls = 0;
+  sim::Clock clock;
+  EXPECT_FALSE(retry_loop(policy, &clock, nullptr, [&] {
+    ++calls;
+    return false;
+  }));
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(clock.now(), 0.0);  // no backoff was scheduled
+
+  calls = 0;
+  EXPECT_TRUE(retry_loop(policy, &clock, nullptr, [&] {
+    ++calls;
+    return true;
+  }));
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryEdge, SingleAttemptNeverBacksOffOrDrawsJitter) {
+  RetryPolicy policy;  // attempts = 1: the historical fire-once client
+  policy.jitter_fraction = 0.5;
+  sim::Clock clock;
+  clock.set(100.0);
+  sim::Rng rng(7);
+  const auto before = rng.engine()();  // capture, then rebuild to compare
+  sim::Rng fresh(7);
+  int calls = 0;
+  EXPECT_FALSE(retry_loop(policy, &clock, &fresh, [&] {
+    ++calls;
+    return false;
+  }));
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(clock.now(), 100.0);
+  // The jitter stream was never touched: its next output is unchanged.
+  EXPECT_EQ(fresh.engine()(), before);
+}
+
+TEST(RetryEdge, ZeroBackoffRetriesLeaveTheClockUntouched) {
+  RetryPolicy policy;
+  policy.attempts = 4;
+  policy.base_backoff_s = 0.0;
+  sim::Clock clock;
+  clock.set(55.5);
+  int calls = 0;
+  EXPECT_FALSE(retry_loop(policy, &clock, nullptr, [&] {
+    ++calls;
+    return false;
+  }));
+  EXPECT_EQ(calls, 4);
+  // Zero waits: now() never moved, and the closing rewind must cope with
+  // rewinding to exactly the current time (not throw).
+  EXPECT_EQ(clock.now(), 55.5);
+}
+
+TEST(RetryEdge, MaximalBackoffRewindsExactlyToTheEntryTime) {
+  RetryPolicy policy;
+  policy.attempts = 6;
+  policy.base_backoff_s = 1e9;
+  policy.backoff_factor = 10.0;
+  sim::Clock clock;
+  clock.set(123.25);
+  sim::SimTime peak = 0.0;
+  EXPECT_FALSE(retry_loop(policy, &clock, nullptr, [&] {
+    peak = clock.now();
+    return false;
+  }));
+  // The last attempt ran deep into the backed-off future...
+  EXPECT_GT(peak, 1e12);
+  // ...and the scoped timeline still closed back to the entry instant,
+  // exactly (doubles: the rewind stores the captured t0, no arithmetic).
+  EXPECT_EQ(clock.now(), 123.25);
+}
+
+TEST(RetryEdge, RecoveryOnFinalAttemptStillCountsAsSuccess) {
+  RetryPolicy policy;
+  policy.attempts = 3;
+  int calls = 0;
+  EXPECT_TRUE(retry_loop(policy, nullptr, nullptr, [&] {
+    return ++calls == 3;
+  }));
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryEdge, JitteredBackoffIsAFunctionOfTheShardNotTheWorker) {
+  // The campaign drivers hand retry_loop a jitter stream forked as
+  // substream(kSaltRetryJitter, shard). Replaying shards in a 4-worker
+  // round-robin partition order must reproduce the serial sweep's waits
+  // wait-for-wait, because nothing about the schedule depends on which
+  // worker (or in which global order) a shard runs.
+  FaultPlan plan;
+  plan.link.loss_rate = 0.01;  // any active plan; only substreams matter
+  const FaultInjector injector(plan);
+  RetryPolicy policy;
+  policy.attempts = 5;
+  policy.jitter_fraction = 0.25;
+
+  constexpr std::size_t kShards = 12;
+  auto schedule_for = [&](std::uint64_t shard) {
+    sim::Rng jitter = injector.substream(kSaltRetryJitter, shard);
+    std::vector<double> waits;
+    for (int attempt = 2; attempt <= policy.attempts; ++attempt)
+      waits.push_back(policy.backoff_before(attempt, &jitter));
+    return waits;
+  };
+
+  // Serial order: shard 0, 1, 2, ...
+  std::vector<std::vector<double>> serial(kShards);
+  for (std::size_t s = 0; s < kShards; ++s) serial[s] = schedule_for(s);
+
+  // 4-worker static round-robin order: worker w visits w, w+4, w+8, ...
+  std::vector<std::vector<double>> parallel(kShards);
+  for (std::size_t w = 0; w < 4; ++w)
+    for (std::size_t s = w; s < kShards; s += 4) parallel[s] = schedule_for(s);
+
+  for (std::size_t s = 0; s < kShards; ++s) {
+    ASSERT_EQ(parallel[s].size(), serial[s].size()) << "shard " << s;
+    for (std::size_t i = 0; i < serial[s].size(); ++i)
+      EXPECT_EQ(parallel[s][i], serial[s][i])
+          << "shard " << s << " wait " << i;
+  }
+
+  // Sanity: jitter actually perturbs the schedule (it is not the
+  // deterministic no-jitter ladder), and distinct shards differ.
+  RetryPolicy dry = policy;
+  dry.jitter_fraction = 0.0;
+  EXPECT_NE(serial[0][0], dry.backoff_before(2, nullptr));
+  EXPECT_NE(serial[0], serial[1]);
+}
+
+}  // namespace
+}  // namespace cgn::fault
