@@ -37,19 +37,8 @@ int main() {
                "large clusters; detection requires >=5 public and >=5\n"
                "internal IPs in the largest cluster.\n";
 
-  std::size_t cluster_ases = 0, detectable = 0;
-  for (const auto& [asn, v] : bt.per_as) {
-    bool any = false, beyond5 = false;
-    for (const auto& c : v.largest) {
-      any = any || c.public_ips > 0 || c.internal_ips > 0;
-      beyond5 = beyond5 || (c.public_ips >= 5 && c.internal_ips >= 5);
-    }
-    cluster_ases += any ? 1 : 0;
-    detectable += beyond5 ? 1 : 0;
-  }
-  bench::write_bench_json(
-      "fig04_clusters",
-      {{"ases_with_clusters", static_cast<double>(cluster_ases)},
-       {"ases_beyond_5x5", static_cast<double>(detectable)}});
+  // Figure extraction is shared with the observatory's /figures endpoint
+  // (analysis/figures.cpp) so both paths emit identical bytes.
+  bench::write_bench_json("fig04_clusters", analysis::fig04_figures(bt));
   return 0;
 }

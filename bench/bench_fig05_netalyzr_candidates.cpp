@@ -29,12 +29,11 @@ int main() {
     std::cout << "\n";
   }
 
-  std::size_t covered = 0, positive = 0;
-  for (const auto& [asn, v] : nz.per_as) {
-    if (v.cellular || !v.covered) continue;
-    ++covered;
-    if (v.cgn_positive) ++positive;
-  }
+  // Figure extraction is shared with the observatory's /figures endpoint
+  // (analysis/figures.cpp) so both paths emit identical bytes.
+  const analysis::Figures figures = analysis::fig05_figures(nz);
+  const auto covered = static_cast<std::size_t>(figures[0].second);
+  const auto positive = static_cast<std::size_t>(figures[1].second);
   std::cout << "Non-cellular ASes covered: " << covered
             << ", CGN-positive: " << positive << " ("
             << report::pct(covered ? static_cast<double>(positive) / covered
@@ -43,9 +42,6 @@ int main() {
             << "Shape: 192X is sparsely used by CGNs; candidate ASes with\n"
                "high /24 diversity cluster in 10X/100X above the cutoff.\n";
 
-  bench::write_bench_json(
-      "fig05_netalyzr_candidates",
-      {{"noncellular_ases_covered", static_cast<double>(covered)},
-       {"cgn_positive", static_cast<double>(positive)}});
+  bench::write_bench_json("fig05_netalyzr_candidates", figures);
   return 0;
 }

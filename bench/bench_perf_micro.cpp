@@ -19,6 +19,7 @@
 #include "netalyzr/session.hpp"
 #include "netcore/routing_table.hpp"
 #include "obs/metrics.hpp"
+#include "observatory/http.hpp"
 #include "sim/network.hpp"
 
 namespace {
@@ -214,6 +215,7 @@ int main(int argc, char** argv) {
   // with -DCGN_OBS=OFF times the round trip ~1.4% faster, in line with
   // the estimate below.)
   double delivery_ns = 0, counter_ns = 0, observe_ns = 0, tax_ns = 0;
+  double delivery_idle_endpoint_ns = 0;
   bool behind_cpe_and_cgn = false;
   {
     cgn::obs::ScopedPhase phase("perf.overhead_estimate");
@@ -265,6 +267,26 @@ int main(int argc, char** argv) {
       delivery_ns = std::min(delivery_ns, ns_per_op(deliver, 100'000));
     // The obs op bundle one round trip executes (see comment above).
     tax_ns = 8 * counter_ns + 2 * observe_ns;
+
+    // The observatory endpoint's idle cost on the same hot path: an
+    // HttpServer blocked in accept() shares no state with the sim, so the
+    // round trip must not move beyond noise. 0 when the sandbox can't bind
+    // a loopback socket.
+    {
+      cgn::observatory::HttpServer server;
+      if (server.start(
+              0,
+              [](const std::string&) {
+                return cgn::observatory::HttpResponse{};
+              },
+              nullptr)) {
+        delivery_idle_endpoint_ns = 1e18;
+        for (int rep = 0; rep < 5; ++rep)
+          delivery_idle_endpoint_ns =
+              std::min(delivery_idle_endpoint_ns, ns_per_op(deliver, 100'000));
+        server.stop();
+      }
+    }
   }
   // delivery_ns already contains one tax bundle; the compiled-out baseline
   // is therefore delivery_ns - tax_ns.
@@ -281,7 +303,9 @@ int main(int argc, char** argv) {
             << "  counter.inc():      " << counter_ns << " ns\n"
             << "  histogram.observe:  " << observe_ns << " ns\n"
             << "  obs tax per round trip (8 incs + 2 observes): " << tax_ns
-            << " ns (" << overhead_pct << "% — acceptance bar <2%)\n";
+            << " ns (" << overhead_pct << "% — acceptance bar <2%)\n"
+            << "  echo round trip with idle observatory endpoint: "
+            << delivery_idle_endpoint_ns << " ns\n";
 
   // Thread scaling of the Netalyzr campaign: the same world (fresh build,
   // same seed) runs its campaign at 1, 2 and 4 workers. The session
@@ -329,6 +353,7 @@ int main(int argc, char** argv) {
   cgn::bench::write_bench_json(
       "perf_micro",
       {{"echo_roundtrip_ns", delivery_ns},
+       {"echo_roundtrip_idle_endpoint_ns", delivery_idle_endpoint_ns},
        {"counter_inc_ns", counter_ns},
        {"histogram_observe_ns", observe_ns},
        {"obs_tax_per_roundtrip_ns", tax_ns},

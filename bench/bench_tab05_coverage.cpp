@@ -56,15 +56,8 @@ int main() {
       "covers more ASes; cellular penetration is >90%; 17-18%% of eyeball\n"
       "ASes are CGN-positive overall.\n";
 
-  bench::write_bench_json(
-      "tab05_coverage",
-      {{"routed_population", static_cast<double>(t.population[0])},
-       {"pbl_population", static_cast<double>(t.population[1])},
-       {"pbl_combined_covered", static_cast<double>(t.combined[1].covered)},
-       {"pbl_combined_positive", static_cast<double>(t.combined[1].positive)},
-       {"cellular_covered",
-        static_cast<double>(t.netalyzr_cellular[0].covered)},
-       {"cellular_positive",
-        static_cast<double>(t.netalyzr_cellular[0].positive)}});
+  // Figure extraction is shared with the observatory's /figures endpoint
+  // (analysis/figures.cpp) so both paths emit identical bytes.
+  bench::write_bench_json("tab05_coverage", analysis::tab05_figures(cov));
   return 0;
 }

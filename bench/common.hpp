@@ -22,6 +22,7 @@
 
 #include "analysis/bt_detector.hpp"
 #include "analysis/coverage.hpp"
+#include "analysis/figures.hpp"
 #include "analysis/netalyzr_detector.hpp"
 #include "fault/fault.hpp"
 #include "fault/retry.hpp"
@@ -30,93 +31,21 @@
 #include "par/thread_pool.hpp"
 #include "report/report.hpp"
 #include "scenario/campaign.hpp"
+#include "scenario/env_config.hpp"
 #include "scenario/internet.hpp"
 #include "super/supervisor.hpp"
 
 namespace cgn::bench {
 
-inline double env_double(const char* name, double fallback) {
-  const char* v = std::getenv(name);
-  return v ? std::atof(v) : fallback;
-}
-
-inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
-  const char* v = std::getenv(name);
-  return v ? static_cast<std::uint64_t>(std::atoll(v)) : fallback;
-}
-
-/// The impairment scenario, from the environment. All-zero defaults give
-/// the inactive plan (clean runs identical to a no-fault build).
-/// CGN_FAULT_LOSS / CGN_FAULT_DUP are per-hop / per-delivery rates;
-/// CGN_FAULT_UNRESP the deaf-BT-peer fraction; CGN_FAULT_RESTART_S and the
-/// CGN_FAULT_PRESSURE_* knobs drive the CGN device faults;
-/// CGN_FAULT_SHARD_CRASH kills campaign shard attempts (see cgn::super).
-inline fault::FaultPlan fault_plan_from_env() {
-  fault::FaultPlan plan;
-  plan.seed = env_u64("CGN_FAULT_SEED", plan.seed);
-  plan.link.loss_rate = env_double("CGN_FAULT_LOSS", 0.0);
-  plan.link.duplication_rate = env_double("CGN_FAULT_DUP", 0.0);
-  plan.peers.unresponsive_fraction = env_double("CGN_FAULT_UNRESP", 0.0);
-  plan.nat.restart_period_s = env_double("CGN_FAULT_RESTART_S", 0.0);
-  plan.nat.pressure_period_s = env_double("CGN_FAULT_PRESSURE_S", 0.0);
-  plan.nat.pressure_duration_s = env_double("CGN_FAULT_PRESSURE_DUR_S", 0.0);
-  plan.nat.pressure_reserve_fraction =
-      env_double("CGN_FAULT_PRESSURE_RESERVE", 0.0);
-  plan.shards.crash_rate = env_double("CGN_FAULT_SHARD_CRASH", 0.0);
-  return plan;
-}
-
-/// Campaign supervision policy, from the environment. Defaults preserve
-/// historical behaviour (single attempt, quarantine on, no deadlines, no
-/// checkpointing). CGN_SUPER_ATTEMPTS sets the per-shard budget;
-/// CGN_SUPER_SHARD_DEADLINE_S / CGN_SUPER_CAMPAIGN_DEADLINE_S the watchdog
-/// budgets; CGN_SUPER_CHECKPOINT_DIR enables checkpoint/resume (one
-/// `<kind>.ckpt` file per campaign in that directory).
-inline super::SupervisorConfig supervisor_config_from_env(
-    const std::string& kind) {
-  super::SupervisorConfig cfg;
-  cfg.max_attempts = static_cast<int>(env_u64("CGN_SUPER_ATTEMPTS", 1));
-  cfg.shard_deadline_s = env_double("CGN_SUPER_SHARD_DEADLINE_S", 0.0);
-  cfg.campaign_deadline_s = env_double("CGN_SUPER_CAMPAIGN_DEADLINE_S", 0.0);
-  const char* dir = std::getenv("CGN_SUPER_CHECKPOINT_DIR");
-  if (dir && *dir) {
-    // CheckpointWriter::open cannot create directories; make the drill
-    // (point the env at a scratch dir, kill, rerun) just work.
-    std::error_code ec;
-    std::filesystem::create_directories(dir, ec);
-    cfg.checkpoint_path = std::string(dir) + "/" + kind + ".ckpt";
-  }
-  return cfg;
-}
-
-/// Probe retransmission policy, from the environment. The default
-/// (CGN_RETRY_ATTEMPTS=1) is the original fire-once behaviour.
-inline fault::RetryPolicy retry_policy_from_env() {
-  fault::RetryPolicy retry;
-  retry.attempts = static_cast<int>(env_u64("CGN_RETRY_ATTEMPTS", 1));
-  retry.base_backoff_s = env_double("CGN_RETRY_BACKOFF_S", 1.0);
-  retry.backoff_factor = env_double("CGN_RETRY_FACTOR", 2.0);
-  retry.jitter_fraction = env_double("CGN_RETRY_JITTER", 0.0);
-  return retry;
-}
-
-/// The calibrated world, scaled. Scale 1.0 is a 1:8 model of the paper's
-/// Internet (6,500 routed ASes, 360 PBL eyeballs, ...).
-inline scenario::InternetConfig scaled_config() {
-  double scale = env_double("CGN_BENCH_SCALE", 0.4);
-  scenario::InternetConfig cfg;
-  cfg.seed = env_u64("CGN_BENCH_SEED", 42);
-  auto scaled = [scale](std::size_t n) {
-    return std::max<std::size_t>(8, static_cast<std::size_t>(
-                                        static_cast<double>(n) * scale));
-  };
-  cfg.routed_ases = scaled(cfg.routed_ases);
-  cfg.pbl_eyeballs = scaled(cfg.pbl_eyeballs);
-  cfg.apnic_eyeballs = scaled(cfg.apnic_eyeballs);
-  cfg.cellular_ases = scaled(cfg.cellular_ases);
-  cfg.fault_plan = fault_plan_from_env();
-  return cfg;
-}
+// The CGN_* environment parsing lives in scenario/env_config.hpp so the
+// observatory daemon reads the exact same knobs; these aliases keep the
+// historical cgn::bench spellings working.
+using scenario::env_double;
+using scenario::env_u64;
+using scenario::fault_plan_from_env;
+using scenario::retry_policy_from_env;
+using scenario::scaled_config;
+using scenario::supervisor_config_from_env;
 
 /// Lazily-run measurement campaign over one world.
 class World {
@@ -213,8 +142,10 @@ inline void print_header(const std::string& experiment,
             << "; paper values in [brackets]; expect shape, not absolutes)\n\n";
 }
 
-/// Headline numbers a bench reproduced, in insertion order.
-using Figures = std::vector<std::pair<std::string, double>>;
+/// Headline numbers a bench reproduced, in insertion order. (The figure
+/// computations themselves live in analysis/figures.hpp, shared with the
+/// observatory's /figures endpoint.)
+using analysis::Figures;
 
 /// Ends a bench run: writes `BENCH_<name>.json` — the machine-readable run
 /// record holding the reproduced figures, the per-phase wall-clock timings
@@ -249,15 +180,9 @@ inline void write_bench_json(const std::string& name, const Figures& figures) {
        << ",\"backoff_factor\":" << retry.backoff_factor
        << ",\"jitter_fraction\":" << retry.jitter_fraction << '}';
   }
-  os << ",\"figures\":{";
-  bool first = true;
-  for (const auto& [key, value] : figures) {
-    if (!first) os << ',';
-    first = false;
-    obs::json_escape(os, key);
-    os << ':' << value;
-  }
-  os << "},\"super\":{";
+  os << ",\"figures\":";
+  analysis::render_figures_json(os, figures);
+  os << ",\"super\":{";
   // Supervision rollup: how much of the planned campaign actually ran.
   // All zeros (coverage 1.0) for unsupervised or failure-free runs.
   {

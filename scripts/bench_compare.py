@@ -14,7 +14,10 @@ compared, which keeps one noisy run from tripping the gate.
 (required keys, figure/phase shapes) without comparing anything; use it to
 vet a freshly regenerated baseline before committing it. Note the "super"
 block is optional: baselines recorded before supervision existed are still
-valid.
+valid. Likewise optional: the top-level "observatory" block and the
+p50/p90/p99 quantiles on obs.metrics histograms (both introduced with the
+streaming observatory) — when present they are shape-checked (numeric,
+p50 <= p90 <= p99), when absent the file still validates.
 
 Bad input (missing file, malformed JSON, a baseline that is not a bench
 JSON) exits 2 with a one-line diagnosis, never a traceback; a genuine
@@ -93,6 +96,38 @@ def check_schema(doc, path):
         if not isinstance(p, dict) or not {"phase", "wall_s", "depth"} <= set(p):
             raise BadInput(f"{path}: obs.phases[{i}] lacks "
                            "phase/wall_s/depth")
+    check_quantiles(doc, path)
+    if "observatory" in doc and not isinstance(doc["observatory"], dict):
+        raise BadInput(f"{path}: \"observatory\" is "
+                       f"{type(doc['observatory']).__name__}, expected an "
+                       "object")
+
+
+def check_quantiles(doc, path):
+    """Histogram quantiles are optional (older baselines predate them),
+    but when present they must be numbers and ordered p50 <= p90 <= p99."""
+    metrics = doc["obs"].get("metrics", {})
+    if not isinstance(metrics, dict):
+        raise BadInput(f"{path}: obs.metrics is "
+                       f"{type(metrics).__name__}, expected an object")
+    for name, h in metrics.get("histograms", {}).items():
+        if not isinstance(h, dict):
+            raise BadInput(f"{path}: obs.metrics.histograms[\"{name}\"] is "
+                           f"{type(h).__name__}, expected an object")
+        quantiles = [k for k in ("p50", "p90", "p99") if k in h]
+        if not quantiles:
+            continue  # legacy file recorded before quantile export
+        if len(quantiles) != 3:
+            raise BadInput(f"{path}: histogram \"{name}\" has only "
+                           f"{quantiles} — p50/p90/p99 come as a set")
+        for q in quantiles:
+            if not isinstance(h[q], (int, float)):
+                raise BadInput(f"{path}: histogram \"{name}\".{q} is "
+                               f"{type(h[q]).__name__}, expected a number")
+        if not (h["p50"] <= h["p90"] <= h["p99"]):
+            raise BadInput(f"{path}: histogram \"{name}\" quantiles are not "
+                           f"monotone: p50={h['p50']} p90={h['p90']} "
+                           f"p99={h['p99']}")
 
 
 def phase_walls(doc):

@@ -13,6 +13,11 @@
 #   recovery kill → resume differential smoke (build/): ctest -R
 #            'SuperRecovery' serial and at 4 workers — resumed campaigns
 #            must be byte-identical to uninterrupted ones
+#   soak     observatory soak smoke: cgn_observatoryd streams the fig04 +
+#            fig05 campaigns live; /metrics//health//trace are
+#            schema-checked and /figures must equal the batch BENCH JSONs,
+#            including after a kill → checkpoint-resume drill (see
+#            scripts/obs_soak_smoke.sh and scripts/obs_scrape.py)
 #
 # Usage: scripts/check.sh [stage...]
 #        scripts/check.sh                # format tier1 asan tsan (historical
@@ -72,6 +77,14 @@ stage_bench() {
   scripts/bench_smoke.sh build
 }
 
+stage_soak() {
+  echo "== soak: observatory stream smoke (live endpoint vs batch) =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j --target cgn_observatoryd \
+    --target bench_fig04_clusters --target bench_fig05_netalyzr_candidates
+  scripts/obs_soak_smoke.sh build
+}
+
 if [[ $# -eq 0 ]]; then
   stages=(format tier1 asan tsan)
 elif [[ "$1" == "--no-sanitize" ]]; then
@@ -82,7 +95,7 @@ fi
 
 for stage in "${stages[@]}"; do
   case "$stage" in
-    format|tier1|asan|tsan|bench|recovery) "stage_$stage" ;;
+    format|tier1|asan|tsan|bench|recovery|soak) "stage_$stage" ;;
     *) echo "check.sh: unknown stage '$stage'" >&2; exit 2 ;;
   esac
 done

@@ -1,0 +1,242 @@
+#!/usr/bin/env python3
+"""Scrape and validate a running cgn_observatoryd endpoint.
+
+Usage:
+    scripts/obs_scrape.py BASE_URL [--wait-done [--timeout S]]
+                          [--compare NAME=BENCH_JSON ...]
+
+BASE_URL is the daemon root, e.g. http://127.0.0.1:9464 (the daemon prints
+"observatory: listening on 127.0.0.1:PORT" at startup).
+
+What it checks, in order:
+  * --wait-done: poll GET /health until "status" is "complete" (the stream
+    finished and ingest lag drained to 0), failing after --timeout seconds
+    (default 300);
+  * GET /health is valid JSON with the expected top-level shape;
+  * GET /metrics is a well-formed Prometheus text exposition: every sample
+    is preceded by its # TYPE line, histogram _bucket series are
+    cumulative-monotone, carry an le="+Inf" bucket, and agree with their
+    _count; the observatory's own gauges are present;
+  * GET /trace is valid JSON;
+  * each --compare NAME=PATH: the observatory figure set NAME under GET
+    /figures must carry exactly the figures of the batch bench JSON at
+    PATH (e.g. fig04_clusters=BENCH_fig04_clusters.json) — this is the
+    streaming==batch acceptance bar, checked value-for-value.
+
+Exit codes: 0 all checks pass, 1 a check failed, 2 bad input/unreachable.
+"""
+
+import json
+import re
+import sys
+import time
+import urllib.error
+import urllib.request
+
+DEFAULT_TIMEOUT_S = 300.0
+
+HEALTH_KEYS = ("status", "uptime_s", "window_s", "ingest", "windows",
+               "campaigns", "http_requests")
+
+# One sample line: name, optional {labels}, value. Prometheus names as the
+# registry emits them (cgn_ prefix, [a-zA-Z0-9_]).
+SAMPLE_RE = re.compile(r"^([A-Za-z_:][A-Za-z0-9_:]*)(\{[^}]*\})?\s+(\S+)$")
+LE_RE = re.compile(r'le="([^"]+)"')
+
+
+class CheckFailed(Exception):
+    pass
+
+
+def fetch(url, timeout=10.0):
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as resp:
+            return resp.read().decode("utf-8")
+    except (urllib.error.URLError, OSError) as e:
+        raise CheckFailed(f"{url}: unreachable ({e})")
+
+
+def fetch_json(url):
+    body = fetch(url)
+    try:
+        return json.loads(body)
+    except json.JSONDecodeError as e:
+        raise CheckFailed(f"{url}: not valid JSON ({e.msg} at line {e.lineno})")
+
+
+def wait_done(base, timeout_s):
+    deadline = time.monotonic() + timeout_s
+    while True:
+        try:
+            health = fetch_json(base + "/health")
+            if health.get("status") == "complete":
+                lag = health.get("ingest", {}).get("lag")
+                print(f"ok   /health: stream complete (ingest lag {lag})")
+                return
+        except CheckFailed:
+            pass  # daemon may still be binding; keep polling until deadline
+        if time.monotonic() > deadline:
+            raise CheckFailed(
+                f"/health did not reach status=complete within {timeout_s}s")
+        time.sleep(0.2)
+
+
+def check_health(base):
+    health = fetch_json(base + "/health")
+    missing = [k for k in HEALTH_KEYS if k not in health]
+    if missing:
+        raise CheckFailed(f"/health: missing keys {missing}")
+    print(f"ok   /health: shape valid (status={health['status']!r}, "
+          f"{health['ingest']['ingested']} events ingested)")
+    return health
+
+
+def parse_exposition(text):
+    """Return (samples, types): sample list [(name, labels, value)] and
+    declared # TYPE map, validating line-level syntax as we go."""
+    samples, types = [], {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line or line.startswith("# HELP"):
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in (
+                    "counter", "gauge", "histogram", "summary", "untyped"):
+                raise CheckFailed(f"/metrics:{lineno}: malformed TYPE line: "
+                                  f"{line!r}")
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            raise CheckFailed(f"/metrics:{lineno}: unknown comment {line!r}")
+        m = SAMPLE_RE.match(line)
+        if not m:
+            raise CheckFailed(f"/metrics:{lineno}: malformed sample {line!r}")
+        name, labels, value = m.group(1), m.group(2) or "", m.group(3)
+        try:
+            samples.append((name, labels, float(value)))
+        except ValueError:
+            raise CheckFailed(f"/metrics:{lineno}: non-numeric value in "
+                              f"{line!r}")
+    return samples, types
+
+
+def base_name(name):
+    """Histogram child series resolve to their declared base metric."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def check_metrics(base):
+    text = fetch(base + "/metrics")
+    samples, types = parse_exposition(text)
+    if not samples:
+        raise CheckFailed("/metrics: no samples at all")
+
+    for name, _, _ in samples:
+        if name not in types and base_name(name) not in types:
+            raise CheckFailed(f"/metrics: sample {name} has no # TYPE line")
+
+    # Histogram invariants: buckets cumulative-monotone, +Inf present and
+    # equal to _count.
+    hist_names = [n for n, t in types.items() if t == "histogram"]
+    for hist in hist_names:
+        buckets = [(LE_RE.search(labels).group(1), value)
+                   for name, labels, value in samples
+                   if name == hist + "_bucket" and LE_RE.search(labels)]
+        if not buckets:
+            raise CheckFailed(f"/metrics: histogram {hist} has no buckets")
+        if buckets[-1][0] != "+Inf":
+            raise CheckFailed(f"/metrics: histogram {hist} lacks a trailing "
+                              "le=\"+Inf\" bucket")
+        values = [v for _, v in buckets]
+        if any(b > a for b, a in zip(values, values[1:])):
+            raise CheckFailed(f"/metrics: histogram {hist} buckets are not "
+                              f"cumulative-monotone: {values}")
+        counts = [v for name, _, v in samples if name == hist + "_count"]
+        if not counts or counts[0] != values[-1]:
+            raise CheckFailed(f"/metrics: histogram {hist} +Inf bucket "
+                              f"{values[-1]} != _count {counts}")
+
+    for required in ("cgn_observatory_ingest_lag",
+                     "cgn_observatory_http_requests"):
+        if not any(name == required for name, _, _ in samples):
+            raise CheckFailed(f"/metrics: missing required sample {required}")
+
+    print(f"ok   /metrics: {len(samples)} samples, {len(types)} metrics "
+          f"({len(hist_names)} histograms), exposition well-formed")
+
+
+def check_compare(base, spec):
+    name, _, path = spec.partition("=")
+    if not path:
+        raise CheckFailed(f"--compare {spec!r}: expected NAME=BENCH_JSON")
+    figures_doc = fetch_json(base + "/figures")
+    sets = figures_doc.get("figure_sets", {})
+    if name not in sets:
+        raise CheckFailed(f"/figures: no figure set {name!r} "
+                          f"(have {sorted(sets)})")
+    stream = sets[name].get("figures", {})
+    try:
+        with open(path) as f:
+            batch = json.load(f).get("figures", {})
+    except (OSError, json.JSONDecodeError) as e:
+        raise CheckFailed(f"--compare {spec!r}: cannot load batch JSON ({e})")
+    if stream != batch:
+        diff = {k: (batch.get(k), stream.get(k))
+                for k in sorted(set(batch) | set(stream))
+                if batch.get(k) != stream.get(k)}
+        raise CheckFailed(f"figure set {name!r} diverges from batch "
+                          f"(batch, stream): {diff}")
+    print(f"ok   /figures[{name}]: {len(stream)} figures identical to "
+          f"batch {path}")
+
+
+def main(argv):
+    if len(argv) < 2 or argv[1].startswith("-"):
+        print(__doc__, file=sys.stderr)
+        return 2
+    base = argv[1].rstrip("/")
+    compares, do_wait, timeout_s = [], False, DEFAULT_TIMEOUT_S
+    i = 2
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--wait-done":
+            do_wait = True
+        elif arg == "--timeout":
+            i += 1
+            if i >= len(argv):
+                print("obs_scrape: --timeout needs a value", file=sys.stderr)
+                return 2
+            timeout_s = float(argv[i])
+        elif arg == "--compare":
+            i += 1
+            if i >= len(argv):
+                print("obs_scrape: --compare needs NAME=PATH",
+                      file=sys.stderr)
+                return 2
+            compares.append(argv[i])
+        else:
+            print(f"obs_scrape: unknown argument {arg!r}", file=sys.stderr)
+            return 2
+        i += 1
+
+    if do_wait:
+        wait_done(base, timeout_s)
+    check_health(base)
+    check_metrics(base)
+    fetch_json(base + "/trace")
+    print("ok   /trace: valid JSON")
+    for spec in compares:
+        check_compare(base, spec)
+    print("obs_scrape: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv))
+    except CheckFailed as e:
+        print(f"obs_scrape: FAIL: {e}", file=sys.stderr)
+        sys.exit(1)

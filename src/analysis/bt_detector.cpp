@@ -1,180 +1,26 @@
 #include "analysis/bt_detector.hpp"
 
-#include <algorithm>
-
-#include "analysis/union_find.hpp"
+#include "analysis/stream.hpp"
 
 namespace cgn::analysis {
 
-namespace {
-
-int range_index(netcore::ReservedRange r) {
-  return static_cast<int>(r) - 1;  // r != none
-}
-
-}  // namespace
-
+// Batch analysis is a replay of the finished dataset through the streaming
+// engine (see stream.hpp): one code path means the observatory's live
+// figures and the batch pipeline's cannot drift apart, and the streaming
+// engine's order-independence makes the replay order irrelevant.
 BtDetectionResult BtDetector::analyze(
     const crawler::CrawlDataset& data,
     const netcore::RoutingTable& routes) const {
-  BtDetectionResult out;
-
-  // --- Table 2: crawl summary -------------------------------------------
-  out.summary.queried_peers = data.queried_peers();
-  out.summary.queried_unique_ips = data.queried_unique_ips();
-  out.summary.learned_peers = data.learned_peers();
-  out.summary.learned_unique_ips = data.learned_unique_ips();
-  out.summary.responding_peers = data.responding_peers();
-  out.summary.responding_unique_ips = data.responding_unique_ips();
-
-  std::unordered_set<netcore::Asn> queried_ases;
-  std::unordered_map<netcore::Asn, std::size_t> queried_per_as;
-  for (const dht::Contact& c : data.queried_contacts()) {
-    if (auto asn = routes.origin_of(c.endpoint.address)) {
-      queried_ases.insert(*asn);
-      ++queried_per_as[*asn];
-    }
-  }
-  out.summary.queried_ases = queried_ases.size();
-
-  std::unordered_set<netcore::Asn> learned_ases;
+  StreamingBtAnalyzer stream(routes, config_);
+  for (const dht::Contact& c : data.queried_contacts())
+    stream.note_queried(c);
   for (const dht::Contact& c : data.learned_contacts())
-    if (auto asn = routes.origin_of(c.endpoint.address))
-      learned_ases.insert(*asn);
-  out.summary.learned_ases = learned_ases.size();
-
-  // --- Table 3: per-range leak statistics (raw, pre-filter) --------------
-  struct RangeAgg {
-    std::unordered_set<crawler::PeerKey, crawler::PeerKeyHash> internal_peers;
-    std::unordered_set<netcore::Ipv4Address> internal_ips;
-    std::unordered_set<crawler::PeerKey, crawler::PeerKeyHash> leaking_peers;
-    std::unordered_set<netcore::Ipv4Address> leaking_ips;
-    std::unordered_set<netcore::Asn> leaking_ases;
-  };
-  std::array<RangeAgg, netcore::kReservedRangeCount> agg;
-
-  // Internal peer -> set of leaker ASes (for the VPN-exclusivity filter).
-  std::unordered_map<crawler::PeerKey, std::unordered_set<netcore::Asn>,
-                     crawler::PeerKeyHash>
-      leaker_ases_of;
-
-  for (const crawler::LeakEdge& e : data.leaks()) {
-    auto range = netcore::classify_reserved(e.internal.endpoint.address);
-    if (range == netcore::ReservedRange::none) continue;
-    auto asn = routes.origin_of(e.leaker.endpoint.address);
-    RangeAgg& a = agg[static_cast<std::size_t>(range_index(range))];
-    a.internal_peers.insert(crawler::PeerKey{e.internal});
-    a.internal_ips.insert(e.internal.endpoint.address);
-    a.leaking_peers.insert(crawler::PeerKey{e.leaker});
-    a.leaking_ips.insert(e.leaker.endpoint.address);
-    if (asn) {
-      a.leaking_ases.insert(*asn);
-      leaker_ases_of[crawler::PeerKey{e.internal}].insert(*asn);
-    }
-  }
-  for (int r = 0; r < netcore::kReservedRangeCount; ++r) {
-    const RangeAgg& a = agg[static_cast<std::size_t>(r)];
-    RangeLeakStats& row = out.per_range[static_cast<std::size_t>(r)];
-    row.internal_total = a.internal_peers.size();
-    row.internal_unique_ips = a.internal_ips.size();
-    row.leaking_total = a.leaking_peers.size();
-    row.leaking_unique_ips = a.leaking_ips.size();
-    row.leaking_ases = a.leaking_ases.size();
-  }
-
-  // --- Per-(AS, range) leakage graphs and clustering ----------------------
-  // Vertices are *peers* — full (endpoint, nodeid) tuples, as in the paper —
-  // so two different homes that both use 192.168.0.2 do not merge. Cluster
-  // sizes are then measured in unique IPs per side. Internal peers leaked
-  // from multiple ASes are excluded as likely VPN artifacts.
-  struct Graph {
-    std::unordered_map<crawler::PeerKey, std::size_t, crawler::PeerKeyHash>
-        vertex_of_public;
-    std::unordered_map<crawler::PeerKey, std::size_t, crawler::PeerKeyHash>
-        vertex_of_internal;
-    std::vector<std::pair<std::size_t, std::size_t>> edges;
-    std::size_t vertices = 0;
-    std::size_t intern(
-        std::unordered_map<crawler::PeerKey, std::size_t,
-                           crawler::PeerKeyHash>& m,
-        const crawler::PeerKey& k) {
-      auto [it, inserted] = m.try_emplace(k, vertices);
-      if (inserted) ++vertices;
-      return it->second;
-    }
-  };
-  std::unordered_map<std::uint64_t, Graph> graphs;  // key: asn*8 + range
-
-  for (const crawler::LeakEdge& e : data.leaks()) {
-    auto range = netcore::classify_reserved(e.internal.endpoint.address);
-    if (range == netcore::ReservedRange::none) continue;
-    auto asn = routes.origin_of(e.leaker.endpoint.address);
-    if (!asn) continue;
-    auto exclusive_it = leaker_ases_of.find(crawler::PeerKey{e.internal});
-    if (exclusive_it == leaker_ases_of.end() ||
-        exclusive_it->second.size() != 1)
-      continue;  // leaked from multiple ASes: likely a VPN artifact
-    std::uint64_t key = std::uint64_t{*asn} * 8 +
-                        static_cast<std::uint64_t>(range_index(range));
-    Graph& g = graphs[key];
-    std::size_t u = g.intern(g.vertex_of_public, crawler::PeerKey{e.leaker});
-    std::size_t v =
-        g.intern(g.vertex_of_internal, crawler::PeerKey{e.internal});
-    g.edges.emplace_back(u, v);
-  }
-
-  // Seed per-AS verdicts with coverage from queried-peer counts.
-  for (const auto& [asn, count] : queried_per_as) {
-    AsBtVerdict& v = out.per_as[asn];
-    v.asn = asn;
-    v.queried_peers = count;
-    v.covered = count >= config_.min_queried_peers;
-  }
-
-  for (auto& [key, g] : graphs) {
-    auto asn = static_cast<netcore::Asn>(key / 8);
-    int r = static_cast<int>(key % 8);
-
-    UnionFind uf(g.vertices);
-    for (auto [u, v] : g.edges) uf.unite(u, v);
-
-    // Count *unique IPs* per component side (Figure 4's axes).
-    struct ComponentIps {
-      std::unordered_set<netcore::Ipv4Address> public_ips;
-      std::unordered_set<netcore::Ipv4Address> internal_ips;
-    };
-    std::unordered_map<std::size_t, ComponentIps> components;
-    for (const auto& [peer, idx] : g.vertex_of_public)
-      components[uf.find(idx)].public_ips.insert(
-          peer.contact.endpoint.address);
-    for (const auto& [peer, idx] : g.vertex_of_internal)
-      components[uf.find(idx)].internal_ips.insert(
-          peer.contact.endpoint.address);
-
-    ClusterSize largest;
-    for (const auto& [root, ips] : components) {
-      // "Largest" by total unique-IP count, as a cluster spans both sides.
-      if (ips.public_ips.size() + ips.internal_ips.size() >
-          largest.public_ips + largest.internal_ips)
-        largest = ClusterSize{ips.public_ips.size(), ips.internal_ips.size()};
-    }
-
-    AsBtVerdict& v = out.per_as[asn];
-    v.asn = asn;
-    v.largest[static_cast<std::size_t>(r)] = largest;
-    if (largest.public_ips >= config_.min_cluster_public_ips &&
-        largest.internal_ips >= config_.min_cluster_internal_ips) {
-      if (!v.cgn_positive) v.cgn_positive = true;
-      v.detected_ranges.push_back(
-          static_cast<netcore::ReservedRange>(r + 1));
-    }
-  }
-
-  // Detection requires coverage; drop positives in under-covered ASes.
-  for (auto& [asn, v] : out.per_as)
-    if (!v.covered) v.cgn_positive = false;
-
-  return out;
+    stream.note_learned(c);
+  for (const dht::Contact& c : data.responding_contacts())
+    stream.note_ping_response(c);
+  for (const crawler::LeakEdge& e : data.leaks())
+    stream.note_leak(e.leaker, e.internal);
+  return stream.snapshot();
 }
 
 }  // namespace cgn::analysis

@@ -38,6 +38,19 @@ struct ClusterSize {
   std::size_t internal_ips = 0;
 };
 
+/// The shared "largest cluster" order: total unique IPs first (a cluster
+/// spans both sides), public count as the tie-break. Two clusters equal
+/// under this order have identical (public, internal) sizes, so the chosen
+/// ClusterSize is independent of component iteration order — the batch and
+/// streaming paths must agree on this for their figures to match.
+[[nodiscard]] inline bool better_cluster(const ClusterSize& a,
+                                         const ClusterSize& b) noexcept {
+  const std::size_t ta = a.public_ips + a.internal_ips;
+  const std::size_t tb = b.public_ips + b.internal_ips;
+  if (ta != tb) return ta > tb;
+  return a.public_ips > b.public_ips;
+}
+
 /// One row of Table 3.
 struct RangeLeakStats {
   std::uint64_t internal_total = 0;       ///< internal (endpoint,id) tuples

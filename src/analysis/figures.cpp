@@ -1,0 +1,62 @@
+#include "analysis/figures.hpp"
+
+#include <ostream>
+
+#include "obs/metrics.hpp"
+
+namespace cgn::analysis {
+
+Figures fig04_figures(const BtDetectionResult& bt) {
+  std::size_t cluster_ases = 0, detectable = 0;
+  for (const auto& [asn, v] : bt.per_as) {
+    bool any = false, beyond5 = false;
+    for (const auto& c : v.largest) {
+      any = any || c.public_ips > 0 || c.internal_ips > 0;
+      beyond5 = beyond5 || (c.public_ips >= 5 && c.internal_ips >= 5);
+    }
+    cluster_ases += any ? 1 : 0;
+    detectable += beyond5 ? 1 : 0;
+  }
+  return {{"ases_with_clusters", static_cast<double>(cluster_ases)},
+          {"ases_beyond_5x5", static_cast<double>(detectable)}};
+}
+
+Figures fig05_figures(const NetalyzrDetectionResult& nz) {
+  std::size_t covered = 0, positive = 0;
+  for (const auto& [asn, v] : nz.per_as) {
+    if (v.cellular || !v.covered) continue;
+    ++covered;
+    if (v.cgn_positive) ++positive;
+  }
+  return {{"noncellular_ases_covered", static_cast<double>(covered)},
+          {"cgn_positive", static_cast<double>(positive)}};
+}
+
+Figures tab05_figures(const CoverageResult& cov) {
+  const Table5& t = cov.table5;
+  return {
+      {"routed_population", static_cast<double>(t.population[0])},
+      {"pbl_population", static_cast<double>(t.population[1])},
+      {"pbl_combined_covered", static_cast<double>(t.combined[1].covered)},
+      {"pbl_combined_positive", static_cast<double>(t.combined[1].positive)},
+      {"cellular_covered",
+       static_cast<double>(t.netalyzr_cellular[0].covered)},
+      {"cellular_positive",
+       static_cast<double>(t.netalyzr_cellular[0].positive)}};
+}
+
+void render_figures_json(std::ostream& os, const Figures& figures) {
+  const auto saved = os.precision(12);
+  os << '{';
+  bool first = true;
+  for (const auto& [key, value] : figures) {
+    if (!first) os << ',';
+    first = false;
+    obs::json_escape(os, key);
+    os << ':' << value;
+  }
+  os << '}';
+  os.precision(saved);
+}
+
+}  // namespace cgn::analysis

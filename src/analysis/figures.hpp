@@ -1,0 +1,37 @@
+// Headline figure extraction shared by the bench binaries and the
+// cgn::observatory /figures endpoint. Keeping the key names and value
+// computation in one place is what makes "observatory figures byte-equal
+// to BENCH_<name>.json figures" a structural property instead of a test
+// hope: both sides call the same function over the same result structs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/bt_detector.hpp"
+#include "analysis/coverage.hpp"
+#include "analysis/netalyzr_detector.hpp"
+
+namespace cgn::analysis {
+
+/// Headline numbers of one figure/table, in insertion order.
+using Figures = std::vector<std::pair<std::string, double>>;
+
+/// Figure 4 headline: ASes with any leakage cluster, and ASes whose
+/// largest cluster crosses the 5x5 detection boundary in any range.
+[[nodiscard]] Figures fig04_figures(const BtDetectionResult& bt);
+
+/// Figure 5 headline: covered non-cellular ASes and CGN-positives.
+[[nodiscard]] Figures fig05_figures(const NetalyzrDetectionResult& nz);
+
+/// Table 5 headline: populations plus combined/cellular coverage cells.
+[[nodiscard]] Figures tab05_figures(const CoverageResult& cov);
+
+/// Renders `{"key":value,...}` exactly as write_bench_json does (12
+/// significant digits, obs::json_escape'd keys) — the byte-compare unit of
+/// the streaming-vs-batch differential tests.
+void render_figures_json(std::ostream& os, const Figures& figures);
+
+}  // namespace cgn::analysis

@@ -1,6 +1,6 @@
 #include "analysis/netalyzr_detector.hpp"
 
-#include <algorithm>
+#include "analysis/stream.hpp"
 
 namespace cgn::analysis {
 
@@ -34,27 +34,6 @@ Table4Row table4_row(netcore::Ipv4Address local,
   }
 }
 
-namespace {
-
-void tally(Table4Column& col, Table4Row row) {
-  ++col.n;
-  ++col.rows[static_cast<std::size_t>(row)];
-}
-
-netcore::Asn session_asn(const netalyzr::SessionResult& s,
-                         const netcore::RoutingTable& routes) {
-  if (s.ip_pub) {
-    if (auto asn = routes.origin_of(*s.ip_pub)) return *asn;
-  }
-  return s.asn;  // fallback: vantage-point ground truth
-}
-
-bool translated_row(Table4Row r) {
-  return r != Table4Row::routed_match;
-}
-
-}  // namespace
-
 std::size_t NetalyzrDetectionResult::covered(bool cellular) const {
   std::size_t n = 0;
   for (const auto& [asn, v] : per_as)
@@ -69,122 +48,15 @@ std::size_t NetalyzrDetectionResult::cgn_positive(bool cellular) const {
   return n;
 }
 
+// Batch analysis is a replay of the session list through the streaming
+// classifier (see stream.hpp): one code path keeps the observatory's live
+// figures and the batch pipeline's identical by construction.
 NetalyzrDetectionResult NetalyzrDetector::analyze(
     const std::vector<netalyzr::SessionResult>& sessions,
     const netcore::RoutingTable& routes) const {
-  NetalyzrDetectionResult out;
-
-  // --- Table 4 and the top CPE-assignment blocks --------------------------
-  std::unordered_map<netcore::Ipv4Prefix, std::size_t> dev_block_count;
-  for (const auto& s : sessions) {
-    Table4Row dev_row = table4_row(s.ip_dev, s.ip_pub, routes);
-    if (s.cellular) {
-      tally(out.table4.cellular_dev, dev_row);
-    } else {
-      tally(out.table4.noncellular_dev, dev_row);
-      ++dev_block_count[netcore::slash24_of(s.ip_dev)];
-      if (s.ip_cpe)
-        tally(out.table4.noncellular_cpe,
-              table4_row(*s.ip_cpe, s.ip_pub, routes));
-    }
-  }
-  {
-    std::vector<std::pair<netcore::Ipv4Prefix, std::size_t>> blocks(
-        dev_block_count.begin(), dev_block_count.end());
-    std::sort(blocks.begin(), blocks.end(), [](const auto& a, const auto& b) {
-      return a.second > b.second;
-    });
-    for (std::size_t i = 0; i < blocks.size() && i < config_.top_cpe_blocks;
-         ++i)
-      out.cpe_blocks.push_back(blocks[i].first);
-  }
-  auto in_cpe_block = [&](netcore::Ipv4Address a) {
-    auto p24 = netcore::slash24_of(a);
-    return std::find(out.cpe_blocks.begin(), out.cpe_blocks.end(), p24) !=
-           out.cpe_blocks.end();
-  };
-
-  // --- Group sessions per AS ----------------------------------------------
-  struct AsAgg {
-    bool cellular = false;
-    std::vector<const netalyzr::SessionResult*> sessions;
-  };
-  std::unordered_map<netcore::Asn, AsAgg> groups;
-  for (const auto& s : sessions) {
-    AsAgg& g = groups[session_asn(s, routes)];
-    g.cellular = s.cellular;  // ASes are homogeneous in network type
-    g.sessions.push_back(&s);
-  }
-
-  for (auto& [asn, g] : groups) {
-    AsNetalyzrVerdict v;
-    v.asn = asn;
-    v.cellular = g.cellular;
-    v.sessions = g.sessions.size();
-
-    if (g.cellular) {
-      v.covered = v.sessions >= config_.min_cellular_sessions;
-      std::size_t translated = 0;
-      for (const auto* s : g.sessions) {
-        Table4Row row = table4_row(s->ip_dev, s->ip_pub, routes);
-        if (translated_row(row)) ++translated;
-        auto range = netcore::classify_reserved(s->ip_dev);
-        if (range != netcore::ReservedRange::none) {
-          v.internal_ranges.insert(range);
-        } else if (row == Table4Row::unrouted ||
-                   row == Table4Row::routed_mismatch) {
-          // Routable (or nominally public) space used internally: Fig 7(b).
-          v.uses_routable_internal = true;
-          v.routable_internal_slash8.insert(s->ip_dev.octet(0));
-        }
-      }
-      if (translated == 0)
-        v.assignment = CellularAssignment::public_only;
-      else if (translated == g.sessions.size())
-        v.assignment = CellularAssignment::internal_only;
-      else
-        v.assignment = CellularAssignment::mixed;
-      v.cgn_positive = translated > 0;
-    } else {
-      v.covered = v.sessions >= config_.min_noncellular_sessions;
-      std::unordered_set<netcore::Ipv4Prefix> cpe24;
-      std::array<std::unordered_set<netcore::Ipv4Prefix>,
-                 netcore::kReservedRangeCount>
-          cpe24_by_range;
-      for (const auto* s : g.sessions) {
-        if (!s->ip_cpe || !s->ip_pub) continue;
-        if (*s->ip_cpe == *s->ip_pub) continue;      // single NAT only
-        if (in_cpe_block(*s->ip_cpe)) continue;      // likely a second CPE
-        ++v.candidate_sessions;
-        auto p24 = netcore::slash24_of(*s->ip_cpe);
-        cpe24.insert(p24);
-        auto range = netcore::classify_reserved(*s->ip_cpe);
-        if (range != netcore::ReservedRange::none) {
-          auto idx = static_cast<std::size_t>(static_cast<int>(range) - 1);
-          ++v.fig5[idx].candidate_sessions;
-          cpe24_by_range[idx].insert(p24);
-          v.internal_ranges.insert(range);
-        } else {
-          Table4Row row = table4_row(*s->ip_cpe, s->ip_pub, routes);
-          if (row == Table4Row::unrouted || row == Table4Row::routed_mismatch) {
-            v.uses_routable_internal = true;
-            v.routable_internal_slash8.insert(s->ip_cpe->octet(0));
-          }
-        }
-      }
-      v.unique_cpe_slash24 = cpe24.size();
-      for (std::size_t r = 0; r < cpe24_by_range.size(); ++r)
-        v.fig5[r].unique_slash24 = cpe24_by_range[r].size();
-      v.cgn_positive =
-          v.candidate_sessions >= config_.min_candidate_sessions &&
-          static_cast<double>(v.unique_cpe_slash24) >=
-              config_.slash24_diversity_factor *
-                  static_cast<double>(v.candidate_sessions);
-    }
-    out.per_as.emplace(asn, std::move(v));
-  }
-
-  return out;
+  StreamingNetalyzrClassifier stream(routes, config_);
+  for (const auto& s : sessions) stream.ingest(s);
+  return stream.snapshot();
 }
 
 }  // namespace cgn::analysis

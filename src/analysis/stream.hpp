@@ -1,0 +1,176 @@
+// Streaming (incremental) variants of the §4 detectors, for the
+// cgn::observatory long-running analysis engine.
+//
+// The batch detectors rebuild their whole state from a finished campaign;
+// these engines ingest one event at a time and can produce a full
+// BtDetectionResult / NetalyzrDetectionResult snapshot after every event.
+// Both are *order-independent*: their state is made of sets, additive
+// tallies and union-find connectivity — all pure functions of the event
+// multiset — and every ranked choice (largest cluster, top CPE blocks)
+// uses a deterministic total order (see better_cluster and the CPE-block
+// sort). That is why a replayed, resharded or checkpoint-resumed stream
+// converges on figures byte-identical to the batch pipeline's, at any
+// worker count. The batch detectors delegate here, so the two paths cannot
+// drift apart.
+//
+// The one genuinely online-hard part is the §4.1 VPN-exclusivity filter:
+// batch analysis drops internal peers leaked from more than one AS, a fact
+// only known at the end. The streaming analyzer adds edges eagerly and
+// *retracts* a peer's edges when a second leaker AS shows up, rebuilding
+// just the affected (AS, range) graph from its retained edge list — small,
+// because graphs are per-AS — so the post-filter edge set always matches
+// what batch analysis would have kept.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/bt_detector.hpp"
+#include "analysis/netalyzr_detector.hpp"
+#include "analysis/union_find.hpp"
+#include "crawler/crawl_dataset.hpp"
+#include "netalyzr/session.hpp"
+#include "netcore/ipv4.hpp"
+#include "netcore/routing_table.hpp"
+
+namespace cgn::analysis {
+
+/// Incremental §4.1 detector: feed crawl events one at a time, snapshot a
+/// full BtDetectionResult at any point.
+class StreamingBtAnalyzer {
+ public:
+  explicit StreamingBtAnalyzer(const netcore::RoutingTable& routes,
+                               BtDetectorConfig config = {})
+      : routes_(routes), config_(config) {}
+
+  void note_queried(const dht::Contact& c);
+  void note_learned(const dht::Contact& c);
+  void note_ping_response(const dht::Contact& c);
+  void note_leak(const dht::Contact& leaker, const dht::Contact& internal);
+
+  [[nodiscard]] std::uint64_t events_ingested() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::uint64_t leaks_ingested() const noexcept {
+    return leaks_;
+  }
+
+  /// The full §4.1 result over everything ingested so far.
+  [[nodiscard]] BtDetectionResult snapshot() const;
+
+  [[nodiscard]] const BtDetectorConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  /// One per-(AS, range) leakage graph maintained online. Vertices are
+  /// interned per peer key; each union-find root carries its component's
+  /// unique-IP sets, merged small-into-large, and `largest` tracks the
+  /// running maximum under better_cluster (components only grow, so the
+  /// maximum over merge-time candidates equals the batch scan over final
+  /// components).
+  struct OnlineLeakGraph {
+    std::vector<crawler::LeakEdge> edges;  ///< retained for retraction
+    std::unordered_map<crawler::PeerKey, std::size_t, crawler::PeerKeyHash>
+        vertex_of_public;
+    std::unordered_map<crawler::PeerKey, std::size_t, crawler::PeerKeyHash>
+        vertex_of_internal;
+    DynamicUnionFind uf;
+    struct Tally {
+      std::unordered_set<netcore::Ipv4Address> public_ips;
+      std::unordered_set<netcore::Ipv4Address> internal_ips;
+    };
+    std::unordered_map<std::size_t, Tally> tally_of_root;
+    ClusterSize largest;
+
+    void add_edge(const dht::Contact& leaker, const dht::Contact& internal);
+    /// Drops every edge reported for `internal` and rebuilds the graph
+    /// from the survivors (the VPN-exclusivity retraction).
+    void retract_internal(const crawler::PeerKey& internal);
+
+   private:
+    void link(const dht::Contact& leaker, const dht::Contact& internal);
+    std::size_t intern(
+        std::unordered_map<crawler::PeerKey, std::size_t,
+                           crawler::PeerKeyHash>& m,
+        const crawler::PeerKey& k, bool is_public);
+  };
+
+  /// Raw per-range tallies of Table 3 (pre-filter, like the batch pass).
+  struct RangeAgg {
+    std::unordered_set<crawler::PeerKey, crawler::PeerKeyHash> internal_peers;
+    std::unordered_set<netcore::Ipv4Address> internal_ips;
+    std::unordered_set<crawler::PeerKey, crawler::PeerKeyHash> leaking_peers;
+    std::unordered_set<netcore::Ipv4Address> leaking_ips;
+    std::unordered_set<netcore::Asn> leaking_ases;
+  };
+
+  const netcore::RoutingTable& routes_;
+  BtDetectorConfig config_;
+  std::uint64_t events_ = 0;
+  std::uint64_t leaks_ = 0;
+
+  // Table 2 state.
+  std::unordered_set<crawler::PeerKey, crawler::PeerKeyHash> queried_;
+  std::unordered_set<crawler::PeerKey, crawler::PeerKeyHash> learned_;
+  std::unordered_set<crawler::PeerKey, crawler::PeerKeyHash> responders_;
+  std::unordered_set<netcore::Ipv4Address> queried_ips_;
+  std::unordered_set<netcore::Ipv4Address> learned_ips_;
+  std::unordered_set<netcore::Ipv4Address> responder_ips_;
+  std::unordered_set<netcore::Asn> learned_ases_;
+  std::unordered_map<netcore::Asn, std::size_t> queried_per_as_;
+
+  // Table 3 + graph state.
+  std::array<RangeAgg, netcore::kReservedRangeCount> agg_;
+  std::unordered_map<crawler::PeerKey, std::unordered_set<netcore::Asn>,
+                     crawler::PeerKeyHash>
+      leaker_ases_of_;
+  std::unordered_map<std::uint64_t, OnlineLeakGraph> graphs_;  ///< asn*8+range
+};
+
+/// Incremental §4.2 classifier: feed Netalyzr sessions one at a time,
+/// snapshot a full NetalyzrDetectionResult at any point. Per-AS state keeps
+/// only the three addresses the detector reads, not whole SessionResults.
+class StreamingNetalyzrClassifier {
+ public:
+  explicit StreamingNetalyzrClassifier(const netcore::RoutingTable& routes,
+                                       NetalyzrDetectorConfig config = {})
+      : routes_(routes), config_(config) {}
+
+  void ingest(const netalyzr::SessionResult& s);
+
+  [[nodiscard]] std::uint64_t sessions_ingested() const noexcept {
+    return sessions_;
+  }
+
+  /// The full §4.2 result over everything ingested so far.
+  [[nodiscard]] NetalyzrDetectionResult snapshot() const;
+
+  [[nodiscard]] const NetalyzrDetectorConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  struct CompactSession {
+    netcore::Ipv4Address ip_dev;
+    std::optional<netcore::Ipv4Address> ip_cpe;
+    std::optional<netcore::Ipv4Address> ip_pub;
+  };
+  struct AsAgg {
+    bool cellular = false;
+    std::vector<CompactSession> sessions;
+  };
+
+  const netcore::RoutingTable& routes_;
+  NetalyzrDetectorConfig config_;
+  std::uint64_t sessions_ = 0;
+  Table4 table4_;
+  std::unordered_map<netcore::Ipv4Prefix, std::size_t> dev_block_count_;
+  std::unordered_map<netcore::Asn, AsAgg> groups_;
+};
+
+}  // namespace cgn::analysis

@@ -93,6 +93,14 @@ class CrawlDataset {
     return out;
   }
 
+  /// All peers that answered a bt_ping (for event-stream replay).
+  [[nodiscard]] std::vector<dht::Contact> responding_contacts() const {
+    std::vector<dht::Contact> out;
+    out.reserve(responders_.size());
+    for (const auto& k : responders_) out.push_back(k.contact);
+    return out;
+  }
+
  private:
   std::unordered_set<PeerKey, PeerKeyHash> learned_;
   std::unordered_set<PeerKey, PeerKeyHash> queried_;

@@ -65,6 +65,29 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
   return out;
 }
 
+double Histogram::quantile(double q) const {
+  const auto counts = bucket_counts();
+  std::uint64_t n = 0;
+  for (const auto c : counts) n += c;
+  if (n == 0 || bounds_.empty()) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * static_cast<double>(n);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cum += counts[i];
+    if (static_cast<double>(cum) < target) continue;
+    if (i >= bounds_.size()) return bounds_.back();  // overflow: clamp
+    const double upper = bounds_[i];
+    const double lower = i == 0 ? std::min(0.0, upper) : bounds_[i - 1];
+    if (counts[i] == 0) return upper;
+    const double into_bucket =
+        target - static_cast<double>(cum - counts[i]);
+    return lower +
+           (upper - lower) * into_bucket / static_cast<double>(counts[i]);
+  }
+  return bounds_.back();
+}
+
 void Histogram::reset() noexcept {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   for (auto& s : sums_) s.v.store(0.0, std::memory_order_relaxed);
@@ -218,6 +241,12 @@ void MetricsRegistry::export_json(std::ostream& os) const {
     }
     os << "],\"count\":" << h->count() << ",\"sum\":";
     json_number(os, h->sum());
+    os << ",\"p50\":";
+    json_number(os, h->quantile(0.50));
+    os << ",\"p90\":";
+    json_number(os, h->quantile(0.90));
+    os << ",\"p99\":";
+    json_number(os, h->quantile(0.99));
     os << '}';
   }
   os << "},\"probes\":{";
@@ -230,6 +259,68 @@ void MetricsRegistry::export_json(std::ostream& os) const {
     json_number(os, probe());
   }
   os << "}}";
+}
+
+namespace {
+
+// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. The registry's dotted
+// names map 1:1 (dots and other separators become underscores).
+std::string prometheus_name(std::string_view name) {
+  std::string out = "cgn_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void prometheus_number(std::ostream& os, double v) {
+  json_number(os, v);  // same minimal-decimal rendering works for both
+}
+
+}  // namespace
+
+void MetricsRegistry::export_prometheus(std::ostream& os) const {
+  std::lock_guard lock(mu_);
+  for (const auto& [name, c] : counters_) {
+    const std::string n = prometheus_name(name);
+    os << "# TYPE " << n << " counter\n" << n << ' ' << c->value() << '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string n = prometheus_name(name);
+    os << "# TYPE " << n << " gauge\n" << n << ' ' << g->value() << '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string n = prometheus_name(name);
+    os << "# TYPE " << n << " histogram\n";
+    const auto& bounds = h->bounds();
+    const auto counts = h->bucket_counts();
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      cum += counts[i];
+      os << n << "_bucket{le=\"";
+      prometheus_number(os, bounds[i]);
+      os << "\"} " << cum << '\n';
+    }
+    cum += counts.empty() ? 0 : counts.back();
+    os << n << "_bucket{le=\"+Inf\"} " << cum << '\n';
+    os << n << "_sum ";
+    prometheus_number(os, h->sum());
+    os << '\n' << n << "_count " << h->count() << '\n';
+    for (const auto& [suffix, q] :
+         {std::pair{"_p50", 0.50}, {"_p90", 0.90}, {"_p99", 0.99}}) {
+      os << "# TYPE " << n << suffix << " gauge\n" << n << suffix << ' ';
+      prometheus_number(os, h->quantile(q));
+      os << '\n';
+    }
+  }
+  for (const auto& [name, probe] : probes_) {
+    const std::string n = prometheus_name(name);
+    os << "# TYPE " << n << " gauge\n" << n << ' ';
+    prometheus_number(os, probe());
+    os << '\n';
+  }
 }
 
 void MetricsRegistry::print_dashboard(std::ostream& os) const {

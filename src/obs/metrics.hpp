@@ -223,6 +223,13 @@ class Histogram {
     auto n = count();
     return n == 0 ? 0.0 : sum() / static_cast<double>(n);
   }
+
+  /// Quantile estimate from the bucket counts, Prometheus-style: find the
+  /// bucket holding the q-rank observation and interpolate linearly inside
+  /// it. Values in the overflow bucket clamp to the last bound (nothing
+  /// sensible to extrapolate to). 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+
   void reset() noexcept;
 
   /// Adds `other`'s observations into this histogram (into the calling
@@ -283,9 +290,17 @@ class MetricsRegistry {
   [[nodiscard]] std::size_t metric_count() const;
 
   /// One JSON object: {"counters":{...},"gauges":{...},
-  /// "histograms":{name:{bounds,buckets,count,sum}},"probes":{...}}.
-  /// Composable: no trailing newline, so callers can embed it.
+  /// "histograms":{name:{bounds,buckets,count,sum,p50,p90,p99}},
+  /// "probes":{...}}. Composable: no trailing newline, so callers can
+  /// embed it.
   void export_json(std::ostream& os) const;
+
+  /// Prometheus text exposition (version 0.0.4) of every metric: counters
+  /// and gauges as single samples, histograms as cumulative `_bucket`
+  /// series with `le` labels plus `_sum`/`_count` and `_p50/_p90/_p99`
+  /// quantile gauges, probes sampled as gauges. Names are prefixed `cgn_`
+  /// and dots become underscores ("sim.net.sent" -> "cgn_sim_net_sent").
+  void export_prometheus(std::ostream& os) const;
 
   /// Human-readable dashboard rendered with report::Table.
   void print_dashboard(std::ostream& os) const;

@@ -8,6 +8,7 @@
 // dependencies.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -33,12 +34,14 @@ class TraceRing {
     head_ = (head_ + 1) % buffer_.size();
     if (size_ < buffer_.size()) ++size_;
     ++total_;
+    ++kind_tally_[e.kind & (kKindTallySlots - 1)];
   }
 
   void clear() noexcept {
     head_ = 0;
     size_ = 0;
     total_ = 0;
+    kind_tally_.fill(0);
   }
 
   [[nodiscard]] std::size_t capacity() const noexcept {
@@ -47,6 +50,15 @@ class TraceRing {
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   /// Events ever pushed, including overwritten ones.
   [[nodiscard]] std::uint64_t total_pushed() const noexcept { return total_; }
+
+  /// Kind slots tallied by push (producer kinds above the slot count fold
+  /// modulo; sim::Network uses 4 of the 8).
+  static constexpr std::size_t kKindTallySlots = 8;
+  /// Events ever pushed with the given kind, overwritten ones included —
+  /// the ring window slides but the tallies don't forget.
+  [[nodiscard]] std::uint64_t kind_tally(std::uint8_t kind) const noexcept {
+    return kind_tally_[kind & (kKindTallySlots - 1)];
+  }
 
   /// Retained events, oldest first.
   [[nodiscard]] std::vector<TraceEvent> events() const;
@@ -60,6 +72,7 @@ class TraceRing {
   std::size_t head_ = 0;
   std::size_t size_ = 0;
   std::uint64_t total_ = 0;
+  std::array<std::uint64_t, kKindTallySlots> kind_tally_{};
 };
 
 }  // namespace cgn::obs

@@ -1,0 +1,164 @@
+#include "observatory/http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+namespace cgn::observatory {
+
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 8192;
+
+std::string_view status_text(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    default:
+      return "Internal Server Error";
+  }
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    // MSG_NOSIGNAL: a scraper hanging up mid-response must not SIGPIPE the
+    // whole daemon.
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+bool HttpServer::start(std::uint16_t port, HttpHandler handler,
+                       std::string* error) {
+  auto fail = [error](const std::string& what) {
+    if (error) *error = what + ": " + std::strerror(errno);
+    return false;
+  };
+  if (listen_fd_ >= 0) {
+    if (error) *error = "already running";
+    return false;
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return fail("socket");
+
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    return fail("bind");
+  }
+  if (::listen(fd, 16) < 0) {
+    ::close(fd);
+    return fail("listen");
+  }
+
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    ::close(fd);
+    return fail("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+
+  handler_ = std::move(handler);
+  requests_.store(0, std::memory_order_relaxed);
+  listen_fd_ = fd;
+  thread_ = std::thread([this] { serve_loop(); });
+  return true;
+}
+
+void HttpServer::stop() {
+  if (listen_fd_ < 0) return;
+  // shutdown() wakes the blocked accept() with an error; the loop then
+  // exits and the close happens exactly once, here.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  port_ = 0;
+}
+
+void HttpServer::serve_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down (or broken beyond repair)
+    }
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpServer::handle_connection(int fd) {
+  // A stalled client must not wedge the accept thread forever.
+  timeval tv{};
+  tv.tv_sec = 5;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+
+  std::string request;
+  char buf[1024];
+  while (request.size() < kMaxRequestBytes &&
+         request.find("\r\n\r\n") == std::string::npos &&
+         request.find('\n') == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+
+  HttpResponse resp;
+  const std::size_t line_end = request.find('\r');
+  const std::string line =
+      request.substr(0, line_end == std::string::npos ? request.find('\n')
+                                                      : line_end);
+  std::istringstream parse(line);
+  std::string method, path, version;
+  parse >> method >> path >> version;
+  if (method.empty() || path.empty()) {
+    resp = {400, "text/plain; charset=utf-8", "bad request\n"};
+  } else if (method != "GET") {
+    resp = {405, "text/plain; charset=utf-8", "method not allowed\n"};
+  } else {
+    // Handlers see the path without the query string.
+    const std::size_t q = path.find('?');
+    if (q != std::string::npos) path.resize(q);
+    try {
+      resp = handler_(path);
+    } catch (const std::exception& e) {
+      resp = {500, "text/plain; charset=utf-8",
+              std::string("internal error: ") + e.what() + "\n"};
+    }
+  }
+
+  std::ostringstream head;
+  head << "HTTP/1.0 " << resp.status << ' ' << status_text(resp.status)
+       << "\r\nContent-Type: " << resp.content_type
+       << "\r\nContent-Length: " << resp.body.size()
+       << "\r\nConnection: close\r\n\r\n";
+  send_all(fd, head.str() + resp.body);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace cgn::observatory

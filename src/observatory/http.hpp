@@ -1,0 +1,68 @@
+// Minimal blocking HTTP/1.0 server for the observatory's pull endpoints.
+//
+// Deliberately tiny: one accept thread, one request per connection
+// (Connection: close), GET only, loopback only. That is exactly what a
+// Prometheus scraper or a curl in a CI script needs, and it keeps the
+// serving path off every simulation hot path — the sim never blocks on a
+// socket; scrapers pay for their own snapshots.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace cgn::observatory {
+
+/// A rendered HTTP response body plus its media type.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Route handler: receives the request path (no host, no query split —
+/// handlers that care can parse), returns the response. Called on the
+/// accept thread; must synchronize with the rest of the process itself.
+using HttpHandler = std::function<HttpResponse(const std::string& path)>;
+
+class HttpServer {
+ public:
+  HttpServer() = default;
+  ~HttpServer() { stop(); }
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port; see port()) and
+  /// starts the accept thread. Returns false with `*error` set when the
+  /// socket can't be bound. Calling start() twice without stop() fails.
+  bool start(std::uint16_t port, HttpHandler handler,
+             std::string* error = nullptr);
+
+  /// Stops accepting, joins the accept thread. Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept { return listen_fd_ >= 0; }
+
+  /// The bound port (the kernel's pick when start() was given 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Requests answered since start(), any status. Readable from any thread.
+  [[nodiscard]] std::uint64_t requests_served() const noexcept {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void serve_loop();
+  void handle_connection(int fd);
+
+  HttpHandler handler_;
+  std::thread thread_;
+  std::atomic<std::uint64_t> requests_{0};
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace cgn::observatory

@@ -1,0 +1,353 @@
+#include "observatory/observatory.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "sim/network.hpp"
+
+namespace cgn::observatory {
+
+namespace {
+
+constexpr const char* kIngestLagProbe = "observatory.ingest_lag";
+constexpr const char* kHttpRequestsProbe = "observatory.http_requests";
+
+/// Human name of a hop-trace kind slot (sim::Network uses the first four).
+std::string_view trace_kind_name(std::size_t slot) {
+  switch (static_cast<sim::Network::TraceKind>(slot)) {
+    case sim::Network::TraceKind::hop:
+      return "hop";
+    case sim::Network::TraceKind::middlebox:
+      return "middlebox";
+    case sim::Network::TraceKind::delivered:
+      return "delivered";
+    case sim::Network::TraceKind::dropped:
+      return "dropped";
+  }
+  return "other";
+}
+
+void render_campaign_json(std::ostream& os,
+                          const super::CampaignReport& report) {
+  os << "{\"planned\":" << report.planned()
+     << ",\"finished\":" << report.finished() << ",\"completed\":"
+     << report.count(super::ShardStatus::completed) << ",\"recovered\":"
+     << report.count(super::ShardStatus::recovered) << ",\"resumed\":"
+     << report.count(super::ShardStatus::resumed) << ",\"quarantined\":"
+     << report.count(super::ShardStatus::quarantined)
+     << ",\"deadline_aborted\":"
+     << report.count(super::ShardStatus::deadline_aborted) << ",\"not_run\":"
+     << report.count(super::ShardStatus::not_run)
+     << ",\"attempts\":" << report.total_attempts()
+     << ",\"coverage\":" << report.coverage()
+     << ",\"degraded\":" << (report.degraded() ? "true" : "false") << '}';
+}
+
+void render_window_json(std::ostream& os, const WindowTally& w) {
+  os << "{\"index\":" << w.index << ",\"events\":" << w.events
+     << ",\"bt_contacts\":" << w.bt_contacts << ",\"leaks\":" << w.leaks
+     << ",\"sessions\":" << w.sessions << '}';
+}
+
+}  // namespace
+
+Observatory::Observatory(const netcore::RoutingTable& routes,
+                         const netcore::AsRegistry& registry,
+                         ObservatoryConfig config)
+    : registry_(registry),
+      config_(config),
+      started_(std::chrono::steady_clock::now()),
+      bt_(routes),
+      nz_(routes),
+      events_counter_(obs::counter("observatory.events")),
+      leaks_counter_(obs::counter("observatory.leaks")),
+      sessions_counter_(obs::counter("observatory.sessions")),
+      windows_counter_(obs::counter("observatory.windows_closed")) {
+  if (config_.window_s <= 0.0) config_.window_s = 3600.0;
+  auto& reg = obs::MetricsRegistry::global();
+  reg.register_probe(kIngestLagProbe, [this] {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stream_total_ > ingested_
+               ? static_cast<double>(stream_total_ - ingested_)
+               : 0.0;
+  });
+  reg.register_probe(kHttpRequestsProbe, [this] {
+    return static_cast<double>(server_.requests_served());
+  });
+}
+
+Observatory::~Observatory() {
+  stop_serving();
+  auto& reg = obs::MetricsRegistry::global();
+  reg.unregister_probe(kIngestLagProbe);
+  reg.unregister_probe(kHttpRequestsProbe);
+}
+
+void Observatory::roll_window_locked(double t) {
+  const auto index =
+      static_cast<std::int64_t>(t / config_.window_s);  // windows are ≥ 0
+  if (window_open_ && index == current_window_.index) return;
+  if (window_open_) {
+    closed_windows_.push_back(current_window_);
+    if (closed_windows_.size() > config_.max_window_history)
+      closed_windows_.erase(closed_windows_.begin());
+    ++windows_closed_;
+    windows_counter_.inc();
+  }
+  current_window_ = WindowTally{};
+  current_window_.index = index;
+  window_open_ = true;
+}
+
+void Observatory::ingest(const StreamEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  roll_window_locked(event.time);
+  virtual_time_ = std::max(virtual_time_, event.time);
+  ++ingested_;
+  ++current_window_.events;
+  events_counter_.inc();
+  switch (event.kind) {
+    case StreamEvent::Kind::bt_queried:
+      bt_.note_queried(event.contact);
+      ++current_window_.bt_contacts;
+      break;
+    case StreamEvent::Kind::bt_learned:
+      bt_.note_learned(event.contact);
+      ++current_window_.bt_contacts;
+      break;
+    case StreamEvent::Kind::bt_ping_response:
+      bt_.note_ping_response(event.contact);
+      ++current_window_.bt_contacts;
+      break;
+    case StreamEvent::Kind::bt_leak:
+      bt_.note_leak(event.contact, event.internal);
+      ++current_window_.leaks;
+      leaks_counter_.inc();
+      break;
+    case StreamEvent::Kind::nz_session:
+      nz_.ingest(event.session);
+      ++current_window_.sessions;
+      sessions_counter_.inc();
+      break;
+  }
+}
+
+void Observatory::add_stream_total(std::uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stream_total_ += n;
+}
+
+void Observatory::note_stream_done() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stream_done_ = true;
+}
+
+void Observatory::note_campaign_report(const std::string& kind,
+                                       const super::CampaignReport& report) {
+  std::lock_guard<std::mutex> lock(mu_);
+  reports_[kind] = report;
+}
+
+void Observatory::capture_trace(const obs::TraceRing& ring) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring.events_into(trace_events_);
+  if (ring.total_pushed() < trace_total_) trace_tally_seen_.fill(0);
+  trace_total_ = ring.total_pushed();
+  for (std::size_t k = 0; k < obs::TraceRing::kKindTallySlots; ++k) {
+    const std::uint64_t now = ring.kind_tally(static_cast<std::uint8_t>(k));
+    trace_tally_[k] = now;
+    if (now > trace_tally_seen_[k]) {
+      obs::counter("observatory.trace." +
+                   std::string(trace_kind_name(k)))
+          .inc(now - trace_tally_seen_[k]);
+      trace_tally_seen_[k] = now;
+    }
+  }
+}
+
+std::uint64_t Observatory::events_ingested() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ingested_;
+}
+
+std::uint64_t Observatory::stream_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stream_total_;
+}
+
+bool Observatory::stream_done() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stream_done_;
+}
+
+analysis::BtDetectionResult Observatory::bt_snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bt_.snapshot();
+}
+
+analysis::NetalyzrDetectionResult Observatory::nz_snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return nz_.snapshot();
+}
+
+analysis::CoverageResult Observatory::coverage_snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  analysis::CoverageResult cov = analysis::combine_coverage(
+      bt_.snapshot(), nz_.snapshot(), registry_);
+  const auto bt_it = reports_.find("crawl_ping");
+  const auto nz_it = reports_.find("netalyzr");
+  analysis::note_supervision(
+      cov, bt_it == reports_.end() ? nullptr : &bt_it->second,
+      nz_it == reports_.end() ? nullptr : &nz_it->second);
+  return cov;
+}
+
+std::map<std::string, analysis::Figures> Observatory::figure_sets() const {
+  std::map<std::string, analysis::Figures> sets;
+  // Each snapshot locks on its own; the three sets need not be a single
+  // atomic cut — each one individually is exact for some stream prefix.
+  sets["fig04_clusters"] = analysis::fig04_figures(bt_snapshot());
+  sets["fig05_netalyzr_candidates"] = analysis::fig05_figures(nz_snapshot());
+  sets["tab05_coverage"] = analysis::tab05_figures(coverage_snapshot());
+  return sets;
+}
+
+void Observatory::render_figures_json(std::ostream& os) const {
+  const auto sets = figure_sets();
+  std::lock_guard<std::mutex> lock(mu_);
+  os << "{\"stream_done\":" << (stream_done_ ? "true" : "false")
+     << ",\"events_ingested\":" << ingested_ << ",\"figure_sets\":{";
+  bool first = true;
+  for (const auto& [name, figures] : sets) {
+    if (!first) os << ',';
+    first = false;
+    obs::json_escape(os, name);
+    os << ":{\"figures\":";
+    analysis::render_figures_json(os, figures);
+    os << '}';
+  }
+  os << "}}";
+}
+
+void Observatory::render_health_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  render_health_locked(os);
+}
+
+void Observatory::render_health_locked(std::ostream& os) const {
+  const double uptime =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started_)
+          .count();
+  const auto old_precision = os.precision(12);
+  os << "{\"status\":\"" << (stream_done_ ? "complete" : "streaming")
+     << "\",\"uptime_s\":" << uptime << ",\"window_s\":" << config_.window_s
+     << ",\"virtual_time_s\":" << virtual_time_;
+  os << ",\"ingest\":{\"announced\":" << stream_total_
+     << ",\"ingested\":" << ingested_ << ",\"lag\":"
+     << (stream_total_ > ingested_ ? stream_total_ - ingested_ : 0)
+     << ",\"done\":" << (stream_done_ ? "true" : "false")
+     << ",\"bt_events\":" << bt_.events_ingested()
+     << ",\"leaks\":" << bt_.leaks_ingested()
+     << ",\"sessions\":" << nz_.sessions_ingested() << '}';
+  os << ",\"windows\":{\"closed\":" << windows_closed_ << ",\"current\":";
+  if (window_open_)
+    render_window_json(os, current_window_);
+  else
+    os << "null";
+  os << ",\"history\":[";
+  for (std::size_t i = 0; i < closed_windows_.size(); ++i) {
+    if (i) os << ',';
+    render_window_json(os, closed_windows_[i]);
+  }
+  os << "]}";
+  os << ",\"campaigns\":{";
+  bool first = true;
+  for (const auto& [kind, report] : reports_) {
+    if (!first) os << ',';
+    first = false;
+    obs::json_escape(os, kind);
+    os << ':';
+    render_campaign_json(os, report);
+  }
+  os << "},\"http_requests\":" << server_.requests_served() << '}';
+  os.precision(old_precision);
+}
+
+void Observatory::render_trace_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  render_trace_locked(os);
+}
+
+void Observatory::render_trace_locked(std::ostream& os) const {
+  const auto old_precision = os.precision(12);
+  os << "{\"total_pushed\":" << trace_total_
+     << ",\"captured\":" << trace_events_.size() << ",\"kinds\":{";
+  std::uint64_t other = 0;
+  for (std::size_t k = 0; k < obs::TraceRing::kKindTallySlots; ++k) {
+    if (trace_kind_name(k) == "other") {
+      other += trace_tally_[k];
+      continue;
+    }
+    obs::json_escape(os, std::string(trace_kind_name(k)));
+    os << ':' << trace_tally_[k] << ',';
+  }
+  os << "\"other\":" << other << "},\"events\":[";
+  for (std::size_t i = 0; i < trace_events_.size(); ++i) {
+    const obs::TraceEvent& e = trace_events_[i];
+    if (i) os << ',';
+    os << "{\"time\":" << e.time << ",\"node\":" << e.node
+       << ",\"ttl\":" << e.ttl << ",\"kind\":\"" << trace_kind_name(e.kind)
+       << "\",\"code\":" << static_cast<int>(e.code);
+    if (static_cast<sim::Network::TraceKind>(e.kind) ==
+        sim::Network::TraceKind::dropped) {
+      os << ",\"drop_reason\":\""
+         << sim::to_string(static_cast<sim::DropReason>(e.code)) << '"';
+    }
+    os << '}';
+  }
+  os << "]}";
+  os.precision(old_precision);
+}
+
+bool Observatory::serve(std::uint16_t port, std::string* error) {
+  return server_.start(
+      port, [this](const std::string& path) { return handle(path); }, error);
+}
+
+void Observatory::stop_serving() { server_.stop(); }
+
+HttpResponse Observatory::handle(const std::string& path) const {
+  std::ostringstream body;
+  if (path == "/metrics") {
+    obs::MetricsRegistry::global().export_prometheus(body);
+    return {200, "text/plain; version=0.0.4; charset=utf-8", body.str()};
+  }
+  if (path == "/figures") {
+    render_figures_json(body);
+    body << '\n';
+    return {200, "application/json", body.str()};
+  }
+  if (path == "/health") {
+    render_health_json(body);
+    body << '\n';
+    return {200, "application/json", body.str()};
+  }
+  if (path == "/trace") {
+    render_trace_json(body);
+    body << '\n';
+    return {200, "application/json", body.str()};
+  }
+  if (path == "/") {
+    body << "cgn observatory\n"
+            "  GET /metrics  Prometheus text exposition\n"
+            "  GET /figures  bench figure sets (JSON)\n"
+            "  GET /health   ingest/window/campaign status (JSON)\n"
+            "  GET /trace    latest hop-trace window (JSON)\n";
+    return {200, "text/plain; charset=utf-8", body.str()};
+  }
+  return {404, "text/plain; charset=utf-8", "not found\n"};
+}
+
+}  // namespace cgn::observatory

@@ -1,0 +1,186 @@
+// cgn::observatory — the streaming analysis engine behind the live
+// endpoint.
+//
+// An Observatory ingests the campaign as an ordered event stream
+// (BitTorrent crawl observations and Netalyzr sessions, see StreamDriver)
+// and keeps the paper's detectors *incrementally* up to date: the §4.1
+// leakage clustering runs on analysis::StreamingBtAnalyzer, the §4.2
+// session classification on analysis::StreamingNetalyzrClassifier, and the
+// §5 coverage roll-up is derived from both on demand. Because the streaming
+// engines are the same code the batch detectors delegate to — and their
+// results are order-independent — the figures served mid-stream converge
+// on exactly the bytes the bench binaries write to BENCH_<name>.json.
+//
+// The HTTP side (serve()) exposes:
+//   GET /metrics — Prometheus text exposition of the whole global registry
+//   GET /figures — figure sets in the bench JSON "figures" schema
+//   GET /health  — uptime, ingest lag, window tallies, campaign coverage
+//   GET /trace   — the latest captured hop-trace window + kind tallies
+//
+// Threading: one producer thread calls ingest()/note_*(); the HttpServer's
+// accept thread calls the render methods. Every touch of streaming state
+// goes through one mutex — scrape cost lands on the scraper, never on the
+// simulation hot path.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <mutex>
+
+#include "analysis/coverage.hpp"
+#include "analysis/figures.hpp"
+#include "analysis/stream.hpp"
+#include "dht/messages.hpp"
+#include "netalyzr/session.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "observatory/http.hpp"
+#include "super/supervisor.hpp"
+
+namespace cgn::observatory {
+
+/// One campaign observation, as replayed by the StreamDriver.
+struct StreamEvent {
+  enum class Kind : std::uint8_t {
+    bt_queried,        ///< crawler queried this contact
+    bt_learned,        ///< contact learned from a nodes reply
+    bt_ping_response,  ///< contact answered the bt_ping sweep
+    bt_leak,           ///< `contact` leaked internal peer `internal`
+    nz_session,        ///< one finished Netalyzr session
+  };
+
+  Kind kind = Kind::bt_queried;
+  /// Simulated campaign time of the observation — drives windowing.
+  double time = 0.0;
+  dht::Contact contact;             ///< bt_* events (the leaker for bt_leak)
+  dht::Contact internal;            ///< bt_leak only: the leaked peer
+  netalyzr::SessionResult session;  ///< nz_session only
+};
+
+/// Per-window ingest tallies (window = floor(event.time / window_s)).
+struct WindowTally {
+  std::int64_t index = 0;
+  std::uint64_t events = 0;
+  std::uint64_t bt_contacts = 0;  ///< queried + learned + ping responses
+  std::uint64_t leaks = 0;
+  std::uint64_t sessions = 0;
+};
+
+struct ObservatoryConfig {
+  /// Window length in simulated seconds (env knob CGN_OBSERVATORY_WINDOW_S).
+  double window_s = 3600.0;
+  /// Closed windows kept for /health (oldest evicted beyond this).
+  std::size_t max_window_history = 48;
+};
+
+class Observatory {
+ public:
+  Observatory(const netcore::RoutingTable& routes,
+              const netcore::AsRegistry& registry,
+              ObservatoryConfig config = {});
+  ~Observatory();
+
+  Observatory(const Observatory&) = delete;
+  Observatory& operator=(const Observatory&) = delete;
+
+  // --- producer side ------------------------------------------------------
+
+  void ingest(const StreamEvent& event);
+
+  /// Announces `n` more events on their way — /health's ingest lag is
+  /// (announced − ingested). Call before emitting a batch.
+  void add_stream_total(std::uint64_t n);
+
+  /// Marks the stream complete (lag forced to announced-but-never-sent 0
+  /// is the caller's job; this just flips /health status to "complete").
+  void note_stream_done();
+
+  /// Attaches a campaign's supervision report under `kind` (e.g.
+  /// "crawl_ping", "netalyzr"); /health renders shard status and coverage
+  /// from it, and the §5 roll-up folds it into MeasurementCoverage.
+  void note_campaign_report(const std::string& kind,
+                            const super::CampaignReport& report);
+
+  /// Copies the ring's retained events + kind tallies for /trace and bumps
+  /// the observatory.trace.* counters by the tally deltas since the last
+  /// capture of the same ring lineage.
+  void capture_trace(const obs::TraceRing& ring);
+
+  // --- consumer side (any thread) ----------------------------------------
+
+  [[nodiscard]] std::uint64_t events_ingested() const;
+  [[nodiscard]] std::uint64_t stream_total() const;
+  [[nodiscard]] bool stream_done() const;
+
+  /// Current detector states (full batch-equivalent result structs).
+  [[nodiscard]] analysis::BtDetectionResult bt_snapshot() const;
+  [[nodiscard]] analysis::NetalyzrDetectionResult nz_snapshot() const;
+  [[nodiscard]] analysis::CoverageResult coverage_snapshot() const;
+
+  /// The bench figure sets computed from the current stream state, keyed
+  /// by bench name ("fig04_clusters", "fig05_netalyzr_candidates",
+  /// "tab05_coverage").
+  [[nodiscard]] std::map<std::string, analysis::Figures> figure_sets() const;
+
+  /// JSON bodies of the endpoints (also useful headless, without serve()).
+  void render_figures_json(std::ostream& os) const;
+  void render_health_json(std::ostream& os) const;
+  void render_trace_json(std::ostream& os) const;
+
+  // --- endpoint -----------------------------------------------------------
+
+  /// Starts the HTTP endpoint on 127.0.0.1:`port` (0 = ephemeral).
+  bool serve(std::uint16_t port, std::string* error = nullptr);
+  void stop_serving();
+  [[nodiscard]] bool serving() const noexcept { return server_.running(); }
+  [[nodiscard]] std::uint16_t port() const noexcept { return server_.port(); }
+  [[nodiscard]] std::uint64_t http_requests() const noexcept {
+    return server_.requests_served();
+  }
+
+  /// The route dispatch behind serve(), exposed for in-process tests.
+  [[nodiscard]] HttpResponse handle(const std::string& path) const;
+
+ private:
+  void roll_window_locked(double t);
+  void render_health_locked(std::ostream& os) const;
+  void render_trace_locked(std::ostream& os) const;
+  void render_figures_locked(std::ostream& os) const;
+
+  const netcore::AsRegistry& registry_;
+  ObservatoryConfig config_;
+  std::chrono::steady_clock::time_point started_;
+
+  mutable std::mutex mu_;
+  analysis::StreamingBtAnalyzer bt_;
+  analysis::StreamingNetalyzrClassifier nz_;
+  std::uint64_t ingested_ = 0;
+  std::uint64_t stream_total_ = 0;
+  bool stream_done_ = false;
+  double virtual_time_ = 0.0;
+  bool window_open_ = false;
+  WindowTally current_window_;
+  std::vector<WindowTally> closed_windows_;
+  std::uint64_t windows_closed_ = 0;
+  std::map<std::string, super::CampaignReport> reports_;
+  std::vector<obs::TraceEvent> trace_events_;
+  std::array<std::uint64_t, obs::TraceRing::kKindTallySlots> trace_tally_{};
+  std::uint64_t trace_total_ = 0;
+  std::array<std::uint64_t, obs::TraceRing::kKindTallySlots>
+      trace_tally_seen_{};
+
+  obs::Counter& events_counter_;
+  obs::Counter& leaks_counter_;
+  obs::Counter& sessions_counter_;
+  obs::Counter& windows_counter_;
+
+  HttpServer server_;
+};
+
+}  // namespace cgn::observatory

@@ -24,6 +24,7 @@ Network::ObsHandles Network::make_obs_handles() {
       .dropped_fault_loss = obs::counter("sim.net.dropped.fault_loss"),
       .dropped_fault_unresponsive =
           obs::counter("sim.net.dropped.fault_unresponsive"),
+      .route_cache_hits = obs::counter("sim.net.route_cache_hits"),
       .hops = obs::histogram("sim.net.hops", kHopBounds),
   };
 }

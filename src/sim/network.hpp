@@ -263,6 +263,7 @@ class Network {
     obs::Counter& dropped_other;
     obs::Counter& dropped_fault_loss;
     obs::Counter& dropped_fault_unresponsive;
+    obs::Counter& route_cache_hits;
     obs::Histogram& hops;
   };
   static ObsHandles make_obs_handles();
@@ -279,6 +280,7 @@ class Network {
     const std::uint64_t e = n.route_cache.load(std::memory_order_relaxed);
     if (e != 0 && (e >> 32) == a.value()) {
       ++stats_cell().route_cache_hits;
+      obs_.route_cache_hits.inc();
       return static_cast<NodeId>(e);
     }
     auto it = n.down_routes.find(a);
