@@ -11,6 +11,11 @@
 #include <chrono>
 #include <thread>
 
+#ifdef __linux__
+#include <sched.h>
+#include <sys/resource.h>
+#endif
+
 #include "analysis/union_find.hpp"
 #include "bench/common.hpp"
 #include "dht/dht_node.hpp"
@@ -25,6 +30,33 @@
 namespace {
 
 using namespace cgn;
+
+/// Cores this process can actually run on (the affinity mask, not the
+/// machine total): bench_compare.py uses this to decide whether wall-clock
+/// parallel speedup is even physically expressible on the runner.
+double usable_cores() {
+#ifdef __linux__
+  cpu_set_t set;
+  if (sched_getaffinity(0, sizeof(set), &set) == 0)
+    return static_cast<double>(CPU_COUNT(&set));
+#endif
+  return static_cast<double>(std::thread::hardware_concurrency());
+}
+
+/// Process CPU seconds (user + system) so far; the per-leg delta measures
+/// work burned, not wall waited — a work-conserving scheduler keeps the
+/// 4-worker campaign's CPU time equal to the serial one's.
+double process_cpu_s() {
+#ifdef __linux__
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) == 0)
+    return static_cast<double>(ru.ru_utime.tv_sec) +
+           1e-6 * static_cast<double>(ru.ru_utime.tv_usec) +
+           static_cast<double>(ru.ru_stime.tv_sec) +
+           1e-6 * static_cast<double>(ru.ru_stime.tv_usec);
+#endif
+  return 0.0;
+}
 
 std::vector<netcore::Ipv4Address> make_pool(int n) {
   std::vector<netcore::Ipv4Address> pool;
@@ -316,6 +348,7 @@ int main(int argc, char** argv) {
   constexpr std::size_t kWorkerCounts[] = {1, 2, 4};
   constexpr int kScalingRuns = int(std::size(kWorkerCounts));
   double campaign_s[kScalingRuns] = {};
+  double campaign_cpu_s[kScalingRuns] = {};
   std::uint64_t fp[kScalingRuns] = {};
   {
     cgn::obs::ScopedPhase phase("perf.thread_scaling");
@@ -329,23 +362,34 @@ int main(int argc, char** argv) {
       auto internet = cgn::scenario::build_internet(cfg);
       cgn::scenario::NetalyzrCampaignConfig cc;
       cc.threads = kWorkerCounts[i];
+      const double cpu0 = process_cpu_s();
       auto t0 = std::chrono::steady_clock::now();
       auto sessions = cgn::scenario::run_netalyzr_campaign(*internet, cc);
       auto t1 = std::chrono::steady_clock::now();
       campaign_s[i] = std::chrono::duration<double>(t1 - t0).count();
+      campaign_cpu_s[i] = process_cpu_s() - cpu0;
       fp[i] = cgn::netalyzr::fingerprint(sessions);
     }
   }
   const bool parallel_identical = fp[0] == fp[1] && fp[1] == fp[2];
   const double speedup_4t =
       campaign_s[2] > 0 ? campaign_s[0] / campaign_s[2] : 0.0;
+  // Work conservation: CPU seconds burned at 4 workers vs serial. Unlike
+  // wall-clock speedup this is machine-class-independent — a pool that
+  // spins or duplicates work drags it below 1 even on a 1-core runner
+  // where wall speedup is pinned at ~1.
+  const double cpu_efficiency_4t =
+      campaign_cpu_s[2] > 0 ? campaign_cpu_s[0] / campaign_cpu_s[2] : 0.0;
+  const double cores = usable_cores();
   std::cout << "\nNetalyzr campaign thread scaling (same seed, fresh world "
             << "per run):\n";
   for (int i = 0; i < kScalingRuns; ++i)
     std::cout << "  " << kWorkerCounts[i] << " worker(s): " << campaign_s[i]
-              << " s\n";
-  std::cout << "  speedup at 4 workers: " << speedup_4t << "x on "
-            << std::thread::hardware_concurrency() << " core(s)\n"
+              << " s wall, " << campaign_cpu_s[i] << " s cpu\n";
+  std::cout << "  speedup at 4 workers: " << speedup_4t << "x on " << cores
+            << " usable core(s)\n"
+            << "  cpu efficiency at 4 workers (cpu_1t/cpu_4t): "
+            << cpu_efficiency_4t << '\n'
             << "  results identical across worker counts: "
             << (parallel_identical ? "yes" : "NO — DETERMINISM BROKEN")
             << '\n';
@@ -363,6 +407,10 @@ int main(int argc, char** argv) {
        {"netalyzr_campaign_s_2t", campaign_s[1]},
        {"netalyzr_campaign_s_4t", campaign_s[2]},
        {"netalyzr_speedup_4t", speedup_4t},
+       {"netalyzr_cpu_s_1t", campaign_cpu_s[0]},
+       {"netalyzr_cpu_s_4t", campaign_cpu_s[2]},
+       {"netalyzr_cpu_efficiency_4t", cpu_efficiency_4t},
+       {"hardware_cores", cores},
        {"parallel_identical", parallel_identical ? 1.0 : 0.0}});
   return 0;
 }

@@ -26,6 +26,15 @@ perf regression exits 1.
 Checks, in order of severity:
   * figures must carry parallel_identical == 1 (1-vs-4-worker campaign
     fingerprints byte-identical) — hard fail otherwise;
+  * parallel speedup gate: on a machine with >= SPEEDUP_MIN_CORES usable
+    cores (both the baseline AND the fresh run must report
+    hardware_cores >= 4, so a 4-core baseline never gates a 1-core
+    runner), netalyzr_speedup_4t must stay >= SPEEDUP_FAIL (2.5), and
+    warns below SPEEDUP_WARN (3.0). On narrower machines wall-clock
+    speedup is physically capped at ~1.0, so the gate switches to
+    netalyzr_cpu_efficiency_4t — CPU seconds at 1 worker over CPU
+    seconds at 4 — which catches the scheduler *burning* extra work
+    (spinning, redundant merges) even where it cannot win wall-clock;
   * echo_roundtrip_ns and every top-level profiler phase wall time are
     compared against the baseline: a regression above WARN_PCT prints a
     warning, one above FAIL_PCT on echo_roundtrip_ns or total phase wall
@@ -42,6 +51,16 @@ import sys
 WARN_PCT = 10.0
 FAIL_PCT = 30.0
 NOISE_FLOOR_S = 0.05
+
+# Parallel scaling gate (ISSUE 7). Wall-clock speedup only gates on
+# machines that can physically express it; below SPEEDUP_MIN_CORES the
+# CPU-efficiency figure gates instead (a work-conserving scheduler keeps
+# it near 1.0 at any core count).
+SPEEDUP_MIN_CORES = 4
+SPEEDUP_FAIL = 2.5
+SPEEDUP_WARN = 3.0
+CPU_EFFICIENCY_FAIL = 0.60
+CPU_EFFICIENCY_WARN = 0.80
 
 
 class BadInput(Exception):
@@ -130,6 +149,57 @@ def check_quantiles(doc, path):
                            f"p99={h['p99']}")
 
 
+def check_speedup(baseline, figures):
+    """Gate parallel scaling: wall-clock speedup where the machine allows
+    it, CPU efficiency (work conservation) where it does not. Returns
+    (failed, warned)."""
+    base_cores = baseline.get("figures", {}).get("hardware_cores")
+    fresh_cores = figures.get("hardware_cores")
+    speedup = figures.get("netalyzr_speedup_4t")
+    efficiency = figures.get("netalyzr_cpu_efficiency_4t")
+
+    wide = (isinstance(base_cores, (int, float)) and
+            isinstance(fresh_cores, (int, float)) and
+            base_cores >= SPEEDUP_MIN_CORES and
+            fresh_cores >= SPEEDUP_MIN_CORES)
+    if wide:
+        if speedup is None:
+            print("FAIL netalyzr_speedup_4t missing from fresh figures")
+            return True, False
+        line = (f"netalyzr_speedup_4t = {speedup:.3f} "
+                f"({fresh_cores:.0f} cores)")
+        if speedup < SPEEDUP_FAIL:
+            print(f"FAIL {line} < {SPEEDUP_FAIL}")
+            return True, False
+        if speedup < SPEEDUP_WARN:
+            print(f"WARN {line} < {SPEEDUP_WARN}")
+            return False, True
+        print(f"ok   {line}")
+        return False, False
+
+    # Narrow machine (or cores unrecorded): wall-clock speedup tops out at
+    # ~1.0 regardless of scheduler quality, so gate work conservation
+    # instead. efficiency = cpu_1t / cpu_4t; a pool that spins or repeats
+    # work drags it toward 0.
+    cores_note = (f"baseline {base_cores}, fresh {fresh_cores}"
+                  if base_cores is not None or fresh_cores is not None
+                  else "hardware_cores unrecorded")
+    print(f"skip netalyzr_speedup_4t wall gate: needs >= "
+          f"{SPEEDUP_MIN_CORES} cores on both sides ({cores_note})")
+    if efficiency is None:
+        print("skip netalyzr_cpu_efficiency_4t: not recorded")
+        return False, False
+    line = f"netalyzr_cpu_efficiency_4t = {efficiency:.3f}"
+    if efficiency < CPU_EFFICIENCY_FAIL:
+        print(f"FAIL {line} < {CPU_EFFICIENCY_FAIL} (pool burns CPU)")
+        return True, False
+    if efficiency < CPU_EFFICIENCY_WARN:
+        print(f"WARN {line} < {CPU_EFFICIENCY_WARN}")
+        return False, True
+    print(f"ok   {line}")
+    return False, False
+
+
 def phase_walls(doc):
     """Top-level (depth 0) profiler phases: name -> wall seconds."""
     return {
@@ -205,6 +275,10 @@ def main(argv):
             warned = True
         else:
             print(f"ok   {line}")
+
+    sp_failed, sp_warned = check_speedup(baseline, figures)
+    failed = failed or sp_failed
+    warned = warned or sp_warned
 
     compare("figures.echo_roundtrip_ns",
             baseline.get("figures", {}).get("echo_roundtrip_ns"),

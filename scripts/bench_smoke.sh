@@ -5,7 +5,10 @@
 #     echo_roundtrip_ns compared against bench/baselines/perf_micro.json
 #     via scripts/bench_compare.py (warn >10%, fail >30%);
 #  2. bench_perf_micro once at 4 workers -> its parallel_identical figure
-#     asserts the 1/2/4-worker campaign fingerprints are byte-identical;
+#     asserts the 1/2/4-worker campaign fingerprints are byte-identical,
+#     and the 1/2/4-worker campaign wall timings plus speedup/CPU
+#     efficiency are summarized into <builddir>/bench-smoke/scaling.json
+#     for upload alongside the raw BENCH_*.json artifacts;
 #  3. bench_fig01_survey at 1 and 4 workers -> the JSON "figures" objects
 #     must be byte-identical (thread count must never leak into results).
 #
@@ -50,6 +53,28 @@ t4 = json.load(open(f"{out}/t4/BENCH_perf_micro.json"))
 ident = t4["figures"].get("parallel_identical")
 assert ident == 1, f"parallel_identical={ident}: worker fingerprints diverged"
 print("ok   perf_micro@4 workers: campaign fingerprints byte-identical")
+
+figs = t4["figures"]
+scaling = {
+    "hardware_cores": figs.get("hardware_cores"),
+    "netalyzr_campaign_s_1t": figs.get("netalyzr_campaign_s_1t"),
+    "netalyzr_campaign_s_2t": figs.get("netalyzr_campaign_s_2t"),
+    "netalyzr_campaign_s_4t": figs.get("netalyzr_campaign_s_4t"),
+    "netalyzr_speedup_4t": figs.get("netalyzr_speedup_4t"),
+    "netalyzr_cpu_s_1t": figs.get("netalyzr_cpu_s_1t"),
+    "netalyzr_cpu_s_4t": figs.get("netalyzr_cpu_s_4t"),
+    "netalyzr_cpu_efficiency_4t": figs.get("netalyzr_cpu_efficiency_4t"),
+}
+with open(f"{out}/scaling.json", "w") as f:
+    json.dump(scaling, f, indent=2, sort_keys=True)
+    f.write("\n")
+parts = ", ".join(f"{k.rsplit('_', 1)[-1]}={scaling[f'netalyzr_campaign_s_{k[-2:]}']}"
+                  for k in ("s_1t", "s_2t", "s_4t")
+                  if scaling.get(f"netalyzr_campaign_s_{k[-2:]}") is not None)
+print(f"ok   scaling.json: campaign walls [{parts}] "
+      f"speedup_4t={scaling['netalyzr_speedup_4t']} "
+      f"cpu_efficiency_4t={scaling['netalyzr_cpu_efficiency_4t']} "
+      f"cores={scaling['hardware_cores']}")
 
 f1 = json.load(open(f"{out}/fig01_t1/BENCH_fig01_survey.json"))["figures"]
 f4 = json.load(open(f"{out}/fig01_t4/BENCH_fig01_survey.json"))["figures"]

@@ -21,10 +21,7 @@ void NetalyzrServer::handle(sim::Network& net, const sim::Packet& pkt) {
     return;
   }
   if (const auto* init = std::get_if<UdpInit>(msg)) {
-    {
-      std::lock_guard lock(mu_);
-      flows_[init->flow] = pkt.src;
-    }
+    flows()[init->flow] = pkt.src;
     sim::Packet reply = sim::Packet::udp(pkt.dst, pkt.src);
     reply.payload = NetalyzrMessage{UdpInitAck{init->flow, pkt.src}};
     net.send(std::move(reply), host_);
@@ -36,9 +33,9 @@ void NetalyzrServer::handle(sim::Network& net, const sim::Packet& pkt) {
 
 std::optional<netcore::Endpoint> NetalyzrServer::flow_endpoint(
     std::uint64_t flow) const {
-  std::lock_guard lock(mu_);
-  auto it = flows_.find(flow);
-  if (it == flows_.end()) return std::nullopt;
+  const auto& stripe = flows();
+  auto it = stripe.find(flow);
+  if (it == stripe.end()) return std::nullopt;
   return it->second;
 }
 

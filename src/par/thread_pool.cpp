@@ -1,27 +1,277 @@
 #include "par/thread_pool.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdint>
+#include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.hpp"
 
 namespace cgn::par {
 
+namespace {
+
+obs::Counter& g_jobs = obs::counter("par.jobs_dispatched");
+obs::Counter& g_shards = obs::counter("par.shards_run");
+obs::Counter& g_spawned = obs::counter("par.pool_threads_spawned");
+
+thread_local bool t_pool_worker = false;
+/// True while this thread is executing a shard body (pool worker or
+/// caller lane 0). A nested run_shards under a running job must not touch
+/// the pool — the caller lane still holds the job mutex — so it runs
+/// inline instead.
+thread_local bool t_in_shard = false;
+
+struct InShardScope {
+  bool prev = t_in_shard;
+  InShardScope() { t_in_shard = true; }
+  ~InShardScope() { t_in_shard = prev; }
+};
+
+/// One dispatched run_shards call. Lives on the heap behind shared_ptrs so
+/// a pool thread that wakes late (after the queue drained and the caller
+/// returned) still holds valid memory to look at.
+struct Job {
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t count = 0;
+  /// Self-scheduling cursor: each worker claims the next unclaimed shard
+  /// with one relaxed fetch_add. Claims are unique; order of execution is
+  /// a scheduling accident that no output may depend on.
+  std::atomic<std::size_t> next{0};
+  /// Shards finished (successfully or not). The release increment pairs
+  /// with the caller's acquire load so per-lane error writes are visible
+  /// at the barrier.
+  std::atomic<std::size_t> finished{0};
+  /// Lane l records failures of the shards *it* ran; lanes never share a
+  /// vector (and each vector sits in its own heap block), so error capture
+  /// is write-contention- and false-sharing-free. Merged and sorted by
+  /// shard id after the barrier.
+  std::vector<std::vector<std::pair<std::size_t, std::exception_ptr>>> errors;
+};
+
+/// Process-wide persistent worker pool. Threads are spawned lazily (first
+/// campaign that needs them), parked on a condition variable between jobs,
+/// and live for the process lifetime; pool thread i permanently owns obs
+/// thread slot i + 1. Jobs are serialized: one run_shards fan-out at a
+/// time, which matches the campaign drivers (and keeps slot occupancy
+/// single-writer).
+class WorkerPool {
+ public:
+  static WorkerPool& instance() {
+    static WorkerPool* pool = new WorkerPool();  // leaked: workers park forever
+    return *pool;
+  }
+
+  void run(std::size_t shard_count,
+           const std::function<void(std::size_t)>& shard_fn,
+           std::size_t workers) {
+    // One fan-out at a time; a concurrent caller queues here instead of
+    // racing for pool lanes.
+    std::lock_guard<std::mutex> job_lock(job_mu_);
+    const std::size_t pool_lanes = workers - 1;
+    ensure_threads(pool_lanes);
+
+    auto job = std::make_shared<Job>();
+    job->fn = &shard_fn;
+    job->count = shard_count;
+    job->errors.resize(workers);
+    g_jobs.inc();
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job_ = job;
+      job_lanes_ = pool_lanes;
+      ++generation_;
+    }
+    cv_.notify_all();
+
+    // The caller is lane 0: it works the same queue on its own metric slot
+    // instead of blocking while the pool does everything.
+    work(*job, 0);
+
+    // Barrier: every shard finished (acquire pairs with the workers'
+    // release increments, making their result/error writes visible).
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      done_cv_.wait(lock, [&] {
+        return job->finished.load(std::memory_order_acquire) == job->count;
+      });
+      job_.reset();
+    }
+    rethrow(*job);
+  }
+
+  [[nodiscard]] std::size_t thread_count() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return threads_.size();
+  }
+
+ private:
+  WorkerPool() = default;
+
+  void ensure_threads(std::size_t want) {
+    std::lock_guard<std::mutex> lock(mu_);
+    while (threads_.size() < want) {
+      const std::size_t index = threads_.size();
+      threads_.emplace_back([this, index] { worker_main(index); });
+      g_spawned.inc();
+    }
+  }
+
+  void worker_main(std::size_t index) {
+    // Permanent identity: pool thread `index` owns metric slot index + 1
+    // for its whole life, so any shard it steals writes that slot and the
+    // slot never aliases another live thread.
+    obs::ThreadSlotScope slot(index + 1);
+    t_pool_worker = true;
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] {
+          return stop_ ||
+                 (job_ != nullptr && generation_ != seen_generation &&
+                  index < job_lanes_);
+        });
+        if (stop_) return;
+        seen_generation = generation_;
+        job = job_;
+      }
+      work(*job, index + 1);
+    }
+  }
+
+  /// The self-scheduling loop every lane (caller and pool threads) runs:
+  /// claim the next shard, run it, repeat until the queue drains. A lane
+  /// that wakes after the drain claims nothing and goes back to sleep.
+  void work(Job& job, std::size_t lane) {
+    auto& errors = job.errors[lane];
+    for (;;) {
+      const std::size_t shard =
+          job.next.fetch_add(1, std::memory_order_relaxed);
+      if (shard >= job.count) break;
+      try {
+        InShardScope in_shard;
+        (*job.fn)(shard);
+      } catch (...) {
+        errors.emplace_back(shard, std::current_exception());
+      }
+      g_shards.inc();
+      if (job.finished.fetch_add(1, std::memory_order_release) + 1 ==
+          job.count) {
+        // Whoever finishes the last shard releases the barrier.
+        std::lock_guard<std::mutex> lock(mu_);
+        done_cv_.notify_all();
+      }
+    }
+  }
+
+  static void rethrow(Job& job) {
+    std::vector<std::pair<std::size_t, std::exception_ptr>> failed;
+    for (auto& lane : job.errors)
+      for (auto& e : lane) failed.push_back(std::move(e));
+    if (failed.empty()) return;
+    // Deterministic aggregation: ascending shard order, independent of
+    // which lane ran (or stole) the failing shard.
+    std::sort(failed.begin(), failed.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    throw_shard_failures(job.count, failed);
+  }
+
+ public:
+  /// Shared with the inline (serial) path so failure messages are
+  /// byte-identical at every worker count. `failed` must be sorted by
+  /// shard id. A lone failure keeps its original type (callers catch
+  /// specific exceptions); multiple failures are aggregated so none is
+  /// silently dropped.
+  static void throw_shard_failures(
+      std::size_t shard_count,
+      const std::vector<std::pair<std::size_t, std::exception_ptr>>& failed) {
+    if (failed.size() == 1) std::rethrow_exception(failed[0].second);
+    std::ostringstream os;
+    os << failed.size() << " of " << shard_count << " shards failed: ";
+    constexpr std::size_t kMaxDetail = 4;
+    for (std::size_t i = 0; i < failed.size() && i < kMaxDetail; ++i) {
+      if (i > 0) os << "; ";
+      os << "shard " << failed[i].first << ": ";
+      try {
+        std::rethrow_exception(failed[i].second);
+      } catch (const std::exception& e) {
+        os << e.what();
+      } catch (...) {
+        os << "unknown exception";
+      }
+    }
+    if (failed.size() > kMaxDetail)
+      os << "; (+" << failed.size() - kMaxDetail << " more)";
+    throw std::runtime_error(std::move(os).str());
+  }
+
+ private:
+  std::mutex job_mu_;  ///< serializes whole jobs (outer)
+  std::mutex mu_;      ///< guards dispatch state below (inner)
+  std::condition_variable cv_;       ///< parks idle pool threads
+  std::condition_variable done_cv_;  ///< releases the caller's barrier
+  std::shared_ptr<Job> job_;
+  std::size_t job_lanes_ = 0;  ///< pool threads requested for the job
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace
+
 std::size_t configured_threads() {
   const char* v = std::getenv("CGN_THREADS");
   if (!v || !*v) return 1;
+  // Strict decimal parse: any non-digit (including signs and trailing
+  // garbage like "4x") rejects the whole value instead of silently running
+  // with strtoul's half-parsed prefix.
+  for (const char* p = v; *p; ++p)
+    if (!std::isdigit(static_cast<unsigned char>(*p))) {
+      static std::once_flag warned;
+      std::call_once(warned, [v] {
+        std::fprintf(stderr,
+                     "cgn::par: CGN_THREADS='%s' is not a plain decimal "
+                     "number; running serial\n",
+                     v);
+      });
+      return 1;
+    }
   char* end = nullptr;
   const unsigned long n = std::strtoul(v, &end, 10);
-  if (end == v || n == 0) return 1;
-  // Slot 0 stays reserved for the main thread, so at most
-  // kMaxThreadSlots - 1 workers can hold distinct metric slots.
+  if (n == 0) return 1;
+  // Slot 0 stays reserved for the calling thread, so at most
+  // kMaxThreadSlots - 1 additional workers can hold distinct metric slots.
   const std::size_t max_workers = obs::kMaxThreadSlots - 1;
-  return n > max_workers ? max_workers : static_cast<std::size_t>(n);
+  if (n > max_workers) {
+    static std::once_flag clamped;
+    std::call_once(clamped, [v, max_workers] {
+      std::fprintf(stderr,
+                   "cgn::par: CGN_THREADS=%s exceeds the %zu metric slots; "
+                   "clamping to %zu workers\n",
+                   v, obs::kMaxThreadSlots, max_workers);
+    });
+    return max_workers;
+  }
+  return static_cast<std::size_t>(n);
 }
+
+std::size_t pool_thread_count() { return WorkerPool::instance().thread_count(); }
+
+bool on_pool_thread() { return t_pool_worker; }
 
 void run_shards(std::size_t shard_count,
                 const std::function<void(std::size_t)>& shard_fn,
@@ -30,62 +280,27 @@ void run_shards(std::size_t shard_count,
   if (threads == 0) threads = configured_threads();
   const std::size_t workers = threads < shard_count ? threads : shard_count;
 
-  // Exceptions recorded per shard so the rethrow (single failure) or the
-  // aggregate message (several) is independent of worker timing.
-  std::vector<std::exception_ptr> errors(shard_count);
-
-  auto run_worker = [&](std::size_t w) {
-    for (std::size_t shard = w; shard < shard_count; shard += workers) {
+  if (workers <= 1 || t_in_shard) {
+    // Serial path (also the nested-fan-out guard: a shard body that fans
+    // out again runs its inner shards inline — whether it is a pool
+    // worker or the caller lane, the pool is busy with the outer job).
+    // Same shard loop, same failure semantics, calling thread keeps its
+    // own metric slot.
+    std::vector<std::pair<std::size_t, std::exception_ptr>> failed;
+    for (std::size_t shard = 0; shard < shard_count; ++shard) {
       try {
+        InShardScope in_shard;
         shard_fn(shard);
       } catch (...) {
-        errors[shard] = std::current_exception();
+        failed.emplace_back(shard, std::current_exception());
       }
+      g_shards.inc();
     }
-  };
-
-  if (workers == 1) {
-    // Serial path: same shard loop, calling thread keeps its own slot.
-    run_worker(0);
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w)
-      pool.emplace_back([&, w] {
-        // Worker w owns metric slot w+1 for its lifetime; the calling
-        // thread (slot 0) is blocked in join below, so slots never alias.
-        obs::ThreadSlotScope slot(w + 1);
-        run_worker(w);
-      });
-    for (auto& t : pool) t.join();
+    if (!failed.empty()) WorkerPool::throw_shard_failures(shard_count, failed);
+    return;
   }
 
-  std::vector<std::size_t> failed;
-  for (std::size_t shard = 0; shard < shard_count; ++shard)
-    if (errors[shard]) failed.push_back(shard);
-  if (failed.empty()) return;
-  // A lone failure keeps its original type (callers catch specific
-  // exceptions); multiple failures are aggregated so none is silently
-  // dropped — shard ids in ascending order, capped detail.
-  if (failed.size() == 1) std::rethrow_exception(errors[failed[0]]);
-
-  std::ostringstream os;
-  os << failed.size() << " of " << shard_count << " shards failed: ";
-  constexpr std::size_t kMaxDetail = 4;
-  for (std::size_t i = 0; i < failed.size() && i < kMaxDetail; ++i) {
-    if (i > 0) os << "; ";
-    os << "shard " << failed[i] << ": ";
-    try {
-      std::rethrow_exception(errors[failed[i]]);
-    } catch (const std::exception& e) {
-      os << e.what();
-    } catch (...) {
-      os << "unknown exception";
-    }
-  }
-  if (failed.size() > kMaxDetail)
-    os << "; (+" << failed.size() - kMaxDetail << " more)";
-  throw std::runtime_error(std::move(os).str());
+  WorkerPool::instance().run(shard_count, shard_fn, workers);
 }
 
 }  // namespace cgn::par

@@ -48,6 +48,19 @@ Network::Network(Clock& clock) : clock_(&clock) {
   Node core;
   core.name = "core";
   nodes_.push_back(std::move(core));
+  grow_route_cache();
+}
+
+void Network::grow_route_cache() {
+  if (nodes_.size() <= route_stride_) return;
+  std::size_t stride = route_stride_ == 0 ? 64 : route_stride_;
+  while (stride < nodes_.size()) stride *= 2;
+  route_stride_ = stride;
+  // Reallocate (zeroed) any stripe a thread already touched; unused slots
+  // stay lazy. Topology construction is single-threaded, so no send is in
+  // flight while stripes swap.
+  for (auto& stripe : route_stripes_)
+    if (stripe) stripe.reset(new std::atomic<std::uint64_t>[route_stride_]());
 }
 
 NodeId Network::add_node(NodeId parent, std::string name) {
@@ -56,6 +69,7 @@ NodeId Network::add_node(NodeId parent, std::string name) {
   node.name = std::move(name);
   node.parent = parent;
   nodes_.push_back(std::move(node));
+  grow_route_cache();
   return static_cast<NodeId>(nodes_.size() - 1);
 }
 
@@ -85,9 +99,9 @@ void Network::register_address(netcore::Ipv4Address address, NodeId owner,
   NodeId node = nodes_.at(owner).parent;
   while (node != kNoNode) {
     nodes_[node].down_routes[address] = child;
-    // Any route mutation invalidates the node's one-entry cache, whatever
-    // address it currently holds.
-    nodes_[node].route_cache.store(0, std::memory_order_relaxed);
+    // Any route mutation invalidates the node's cache entry in every
+    // thread's stripe, whatever address each currently holds.
+    invalidate_route_cache(node);
     if (node == scope) return;
     child = node;
     node = nodes_[node].parent;
@@ -100,7 +114,7 @@ void Network::unregister_address(netcore::Ipv4Address address, NodeId owner,
   NodeId node = nodes_.at(owner).parent;
   while (node != kNoNode) {
     nodes_[node].down_routes.erase(address);
-    nodes_[node].route_cache.store(0, std::memory_order_relaxed);
+    invalidate_route_cache(node);
     if (node == scope) return;
     node = nodes_[node].parent;
   }
@@ -110,7 +124,8 @@ NodeId Network::parent(NodeId node) const { return nodes_.at(node).parent; }
 
 const NetworkStats& Network::stats() const noexcept {
   stats_merged_ = {};
-  for (const auto& cell : stats_cells_) {
+  for (const auto& padded : stats_cells_) {
+    const NetworkStats& cell = padded.v;
     stats_merged_.sent += cell.sent;
     stats_merged_.delivered += cell.delivered;
     stats_merged_.dropped_ttl += cell.dropped_ttl;
@@ -181,7 +196,17 @@ DropReason Network::to_drop_reason(Middlebox::Verdict v) noexcept {
   return DropReason::mb_dropped;
 }
 
-DeliveryResult Network::finish(DeliveryResult r) {
+DeliveryResult Network::finish(DeliveryResult r, SendCtx& ctx) {
+  // Batched flush: route-cache hits accumulated hop by hop in the send's
+  // local context land in the metric slot once per delivery, not once per
+  // hop. Nested sends (receiver replies) carry their own context, so the
+  // counts are exact.
+  if (ctx.cache_hits > 0) {
+    stats_cell().route_cache_hits +=
+        static_cast<std::uint64_t>(ctx.cache_hits);
+    obs_.route_cache_hits.inc(static_cast<std::uint64_t>(ctx.cache_hits));
+    ctx.cache_hits = 0;
+  }
   switch (r.reason) {
     case DropReason::none:
       ++stats_cell().delivered;
@@ -222,14 +247,16 @@ DeliveryResult Network::finish(DeliveryResult r) {
   return r;
 }
 
-DeliveryResult Network::deliver_at(NodeId node, Packet& pkt, int hops) {
+DeliveryResult Network::deliver_at(NodeId node, Packet& pkt, int hops,
+                                   SendCtx& ctx) {
   // An injected-unresponsive endpoint receives nothing: the NAT state along
   // the path was still created/refreshed (the packet really travelled), but
   // the application never answers — a deaf BitTorrent peer.
   if (faults_ && faults_->unresponsive(node, pkt.dst.port))
     return finish({.reason = DropReason::fault_unresponsive,
                    .hops = hops,
-                   .final_node = node});
+                   .final_node = node},
+                  ctx);
   if (nodes_[node].receiver) {
     nodes_[node].receiver(*this, pkt);
     // Injected duplication: the receiver sees the same datagram twice, as
@@ -242,12 +269,16 @@ DeliveryResult Network::deliver_at(NodeId node, Packet& pkt, int hops) {
   return finish({.delivered = true,
                  .reason = DropReason::none,
                  .hops = hops,
-                 .final_node = node});
+                 .final_node = node},
+                ctx);
 }
 
 DeliveryResult Network::send(Packet pkt, NodeId from) {
   ++stats_cell().sent;
   obs_.sent.inc();
+  // One TLS read resolves this thread's route-cache stripe for the whole
+  // delivery (every hop used to re-derive the slot via the metric cell).
+  SendCtx ctx{route_stripe()};
   const SimTime now = clock().now();
   int hops = 0;
   NodeId node = nodes_.at(from).parent;
@@ -255,7 +286,8 @@ DeliveryResult Network::send(Packet pkt, NodeId from) {
   // destination (locally, via a scoped down-route, or via a hairpin).
   while (node != kNoNode) {
     if (++hops > kMaxHops)
-      return finish({.reason = DropReason::hop_limit, .final_node = node});
+      return finish({.reason = DropReason::hop_limit, .final_node = node},
+                    ctx);
     Node& n = nodes_[node];
     pkt.ttl -= 1;
     trace_event(TraceKind::hop, node, pkt.ttl, 0);
@@ -264,14 +296,18 @@ DeliveryResult Network::send(Packet pkt, NodeId from) {
     if (faults_ && faults_->drop_at_hop())
       return finish({.reason = DropReason::fault_loss,
                      .hops = hops,
-                     .final_node = node});
-    if (owns_local(n, pkt.dst.address)) return deliver_at(node, pkt, hops);
+                     .final_node = node},
+                    ctx);
+    if (owns_local(n, pkt.dst.address))
+      return deliver_at(node, pkt, hops, ctx);
     if (pkt.ttl <= 0)
       return finish({.reason = DropReason::ttl_expired,
                      .hops = hops,
-                     .final_node = node});
-    if (NodeId next = route_lookup(n, pkt.dst.address); next != kNoNode)
-      return descend(next, pkt, hops);
+                     .final_node = node},
+                    ctx);
+    if (NodeId next = route_lookup(n, node, pkt.dst.address, ctx);
+        next != kNoNode)
+      return descend(next, pkt, hops, ctx);
     if (n.middlebox && n.middlebox->owns_external(pkt.dst.address)) {
       auto verdict = n.middlebox->process_hairpin(pkt, now);
       trace_event(TraceKind::middlebox, node, pkt.ttl,
@@ -279,14 +315,16 @@ DeliveryResult Network::send(Packet pkt, NodeId from) {
       if (verdict != Middlebox::Verdict::forward)
         return finish({.reason = to_drop_reason(verdict),
                        .hops = hops,
-                       .final_node = node});
+                       .final_node = node},
+                      ctx);
       // Hairpin processing may rewrite pkt.dst, so route on the new address.
-      NodeId next = route_lookup(n, pkt.dst.address);
+      NodeId next = route_lookup(n, node, pkt.dst.address, ctx);
       if (next == kNoNode)
         return finish({.reason = DropReason::no_route,
                        .hops = hops,
-                       .final_node = node});
-      return descend(next, pkt, hops);
+                       .final_node = node},
+                      ctx);
+      return descend(next, pkt, hops, ctx);
     }
     if (n.middlebox) {
       auto verdict = n.middlebox->process_outbound(pkt, now);
@@ -295,29 +333,34 @@ DeliveryResult Network::send(Packet pkt, NodeId from) {
       if (verdict != Middlebox::Verdict::forward)
         return finish({.reason = to_drop_reason(verdict),
                        .hops = hops,
-                       .final_node = node});
+                       .final_node = node},
+                      ctx);
     }
     if (n.parent == kNoNode)
       return finish({.reason = DropReason::no_route,
                      .hops = hops,
-                     .final_node = node});
+                     .final_node = node},
+                    ctx);
     node = n.parent;
   }
-  return finish({.reason = DropReason::no_route, .hops = hops});
+  return finish({.reason = DropReason::no_route, .hops = hops}, ctx);
 }
 
-DeliveryResult Network::descend(NodeId node, Packet& pkt, int hops) {
+DeliveryResult Network::descend(NodeId node, Packet& pkt, int hops,
+                                SendCtx& ctx) {
   const SimTime now = clock().now();
   while (true) {
     if (++hops > kMaxHops)
-      return finish({.reason = DropReason::hop_limit, .final_node = node});
+      return finish({.reason = DropReason::hop_limit, .final_node = node},
+                    ctx);
     Node& n = nodes_[node];
     pkt.ttl -= 1;
     trace_event(TraceKind::hop, node, pkt.ttl, 0);
     if (faults_ && faults_->drop_at_hop())
       return finish({.reason = DropReason::fault_loss,
                      .hops = hops,
-                     .final_node = node});
+                     .final_node = node},
+                    ctx);
     // A NAT whose external address the packet targets translates it inward —
     // but only if the packet still has TTL budget to be forwarded; a probe
     // that expires here dies without refreshing the NAT's mapping, which is
@@ -326,25 +369,30 @@ DeliveryResult Network::descend(NodeId node, Packet& pkt, int hops) {
       if (pkt.ttl <= 0)
         return finish({.reason = DropReason::ttl_expired,
                        .hops = hops,
-                       .final_node = node});
+                       .final_node = node},
+                      ctx);
       auto verdict = n.middlebox->process_inbound(pkt, now);
       trace_event(TraceKind::middlebox, node, pkt.ttl,
                   static_cast<std::uint8_t>(verdict));
       if (verdict != Middlebox::Verdict::forward)
         return finish({.reason = to_drop_reason(verdict),
                        .hops = hops,
-                       .final_node = node});
+                       .final_node = node},
+                      ctx);
     }
-    if (owns_local(n, pkt.dst.address)) return deliver_at(node, pkt, hops);
+    if (owns_local(n, pkt.dst.address))
+      return deliver_at(node, pkt, hops, ctx);
     if (pkt.ttl <= 0)
       return finish({.reason = DropReason::ttl_expired,
                      .hops = hops,
-                     .final_node = node});
-    NodeId next = route_lookup(n, pkt.dst.address);
+                     .final_node = node},
+                    ctx);
+    NodeId next = route_lookup(n, node, pkt.dst.address, ctx);
     if (next == kNoNode)
       return finish({.reason = DropReason::no_route,
                      .hops = hops,
-                     .final_node = node});
+                     .final_node = node},
+                    ctx);
     node = next;
   }
 }

@@ -17,6 +17,7 @@
 #include <functional>
 #include <iosfwd>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -161,7 +162,9 @@ class Network {
   /// Call only while no worker is mid-send; campaign code reads it after
   /// the shard barrier.
   [[nodiscard]] const NetworkStats& stats() const noexcept;
-  void reset_stats() noexcept { stats_cells_.fill({}); }
+  void reset_stats() noexcept {
+    for (auto& cell : stats_cells_) cell.v = {};
+  }
 
   /// The clock packets are stamped with: the calling thread's
   /// ThreadClockScope override when one is active (campaign shards), else
@@ -217,36 +220,16 @@ class Network {
     Receiver receiver;
     flat::FlatMap<netcore::Ipv4Address, NodeId> down_routes;
     std::vector<netcore::Ipv4Address> local_addresses;
-    /// One-entry route cache: (address << 32) | child, 0 when empty. A
-    /// valid child NodeId is never 0 (the root has no ancestors), so a set
-    /// entry is never all-zero. Packed into a single relaxed atomic so
-    /// concurrent campaign shards crossing shared core nodes stay
-    /// race-free; only positive lookups are cached, and every route
-    /// mutation on the node clears it (see DESIGN.md §10).
-    std::atomic<std::uint64_t> route_cache{0};
+  };
 
-    Node() = default;
-    // Moves happen only during single-threaded topology construction
-    // (vector growth in add_node), so a relaxed copy of the cache is safe.
-    Node(Node&& o) noexcept
-        : name(std::move(o.name)),
-          parent(o.parent),
-          middlebox(o.middlebox),
-          receiver(std::move(o.receiver)),
-          down_routes(std::move(o.down_routes)),
-          local_addresses(std::move(o.local_addresses)),
-          route_cache(o.route_cache.load(std::memory_order_relaxed)) {}
-    Node& operator=(Node&& o) noexcept {
-      name = std::move(o.name);
-      parent = o.parent;
-      middlebox = o.middlebox;
-      receiver = std::move(o.receiver);
-      down_routes = std::move(o.down_routes);
-      local_addresses = std::move(o.local_addresses);
-      route_cache.store(o.route_cache.load(std::memory_order_relaxed),
-                        std::memory_order_relaxed);
-      return *this;
-    }
+  /// Per-delivery context threaded through send/descend: the calling
+  /// thread's route-cache stripe resolved once per send (one TLS read
+  /// instead of one per hop), and the send's cache hits batched into a
+  /// plain local counter that finish() flushes to the metric slot in one
+  /// go — per-send instead of per-hop metric traffic.
+  struct SendCtx {
+    std::atomic<std::uint64_t>* cache;
+    int cache_hits = 0;
   };
 
   static constexpr int kMaxHops = 64;
@@ -269,25 +252,54 @@ class Network {
   static ObsHandles make_obs_handles();
 
   [[nodiscard]] bool owns_local(const Node& n, netcore::Ipv4Address a) const;
-  DeliveryResult deliver_at(NodeId node, Packet& pkt, int hops);
-  DeliveryResult descend(NodeId node, Packet& pkt, int hops);
-  DeliveryResult finish(DeliveryResult r);
+  DeliveryResult deliver_at(NodeId node, Packet& pkt, int hops, SendCtx& ctx);
+  DeliveryResult descend(NodeId node, Packet& pkt, int hops, SendCtx& ctx);
+  DeliveryResult finish(DeliveryResult r, SendCtx& ctx);
   static DropReason to_drop_reason(Middlebox::Verdict v) noexcept;
 
-  /// Down-route lookup through the node's one-entry cache. Returns kNoNode
-  /// when the node has no route for `a`; negative results are not cached.
-  [[nodiscard]] NodeId route_lookup(Node& n, netcore::Ipv4Address a) noexcept {
-    const std::uint64_t e = n.route_cache.load(std::memory_order_relaxed);
+  /// The calling thread's route-cache stripe: one packed (address << 32) |
+  /// child entry per node, 0 when empty (a valid child NodeId is never 0 —
+  /// the root has no ancestors). Stripes are private to a metric slot, so
+  /// campaign workers crossing the same shared core nodes never write the
+  /// same cache line — the old single shared entry per node turned every
+  /// differing-destination descent into cross-core cache-line ping-pong.
+  /// Lazily allocated on a slot's first send; route mutations invalidate
+  /// the entry in every stripe (see DESIGN.md §10).
+  [[nodiscard]] std::atomic<std::uint64_t>* route_stripe() {
+    auto& stripe = route_stripes_[obs::thread_slot()];
+    if (!stripe)  // first send on this slot (cold)
+      stripe.reset(new std::atomic<std::uint64_t>[route_stride_]());
+    return stripe.get();
+  }
+
+  /// Down-route lookup through the sending thread's per-node cache entry.
+  /// Returns kNoNode when the node has no route for `a`; negative results
+  /// are not cached. Hits are batched in ctx and flushed by finish().
+  [[nodiscard]] NodeId route_lookup(Node& n, NodeId id, netcore::Ipv4Address a,
+                                    SendCtx& ctx) noexcept {
+    std::atomic<std::uint64_t>& entry = ctx.cache[id];
+    const std::uint64_t e = entry.load(std::memory_order_relaxed);
     if (e != 0 && (e >> 32) == a.value()) {
-      ++stats_cell().route_cache_hits;
-      obs_.route_cache_hits.inc();
+      ++ctx.cache_hits;
       return static_cast<NodeId>(e);
     }
     auto it = n.down_routes.find(a);
     if (it == n.down_routes.end()) return kNoNode;
-    n.route_cache.store((std::uint64_t{a.value()} << 32) | it->second,
-                        std::memory_order_relaxed);
+    entry.store((std::uint64_t{a.value()} << 32) | it->second,
+                std::memory_order_relaxed);
     return it->second;
+  }
+
+  /// Grows the route-cache stride to cover `nodes_.size()` nodes and drops
+  /// any already-allocated stripes' contents (topology construction is
+  /// single-threaded and cold).
+  void grow_route_cache();
+
+  /// Zeroes `node`'s cache entry in every allocated stripe (route
+  /// mutation: register/unregister_address).
+  void invalidate_route_cache(NodeId node) noexcept {
+    for (auto& stripe : route_stripes_)
+      if (stripe) stripe[node].store(0, std::memory_order_relaxed);
   }
 
   void trace_event(TraceKind kind, NodeId node, int ttl,
@@ -297,16 +309,29 @@ class Network {
                     static_cast<std::uint8_t>(kind), code, clock().now()});
   }
 
+  /// One slot's delivery stats, padded out to its own cache lines: the
+  /// bare 88-byte struct made adjacent workers' cells share lines, so the
+  /// per-hop/per-send increments false-shared across cores.
+  struct alignas(64) StatsCell {
+    NetworkStats v;
+  };
+
   /// The calling thread's stats cell. Cells are per obs thread slot, so
   /// concurrent shard workers never write the same cell (plain non-atomic
-  /// fields stay race-free); stats() merges them.
+  /// fields stay race-free and, padded, never share a cache line);
+  /// stats() merges them.
   [[nodiscard]] NetworkStats& stats_cell() noexcept {
-    return stats_cells_[obs::thread_slot()];
+    return stats_cells_[obs::thread_slot()].v;
   }
 
   Clock* clock_;
   std::vector<Node> nodes_;
-  std::array<NetworkStats, obs::kMaxThreadSlots> stats_cells_{};
+  /// Per-slot route-cache stripes (route_stripe()); stride >= nodes_.size().
+  std::array<std::unique_ptr<std::atomic<std::uint64_t>[]>,
+             obs::kMaxThreadSlots>
+      route_stripes_;
+  std::size_t route_stride_ = 0;
+  std::array<StatsCell, obs::kMaxThreadSlots> stats_cells_{};
   mutable NetworkStats stats_merged_;  ///< scratch for stats()
   ObsHandles obs_ = make_obs_handles();
   obs::TraceRing* trace_ = nullptr;

@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "netalyzr/session.hpp"
 #include "obs/metrics.hpp"
 #include "scenario/campaign.hpp"
@@ -34,8 +35,18 @@ struct NetalyzrRun {
   double final_time = 0.0;
 };
 
-NetalyzrRun run_netalyzr(std::size_t threads) {
-  auto internet = build_internet(tiny_config());
+NetalyzrRun run_netalyzr(std::size_t threads, bool stormy = false) {
+  InternetConfig icfg = tiny_config();
+  if (stormy) {
+    // Faults stress the scheduler: retries and restarts skew per-shard
+    // runtimes, so the self-scheduling queue actually redistributes
+    // ("steals") shards instead of degenerating to round-robin.
+    icfg.fault_plan.link.loss_rate = 0.02;
+    icfg.fault_plan.link.duplication_rate = 0.01;
+    icfg.fault_plan.peers.unresponsive_fraction = 0.10;
+    icfg.fault_plan.nat.restart_period_s = 900.0;
+  }
+  auto internet = build_internet(icfg);
   NetalyzrCampaignConfig cfg;
   cfg.enum_fraction = 0.5;
   cfg.stun_fraction = 0.5;
@@ -55,11 +66,32 @@ TEST(CampaignParallel, NetalyzrResultsAreThreadCountInvariant) {
   const NetalyzrRun serial = run_netalyzr(1);
   ASSERT_GT(serial.sessions, 50u);
 
-  for (std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+  for (std::size_t threads :
+       {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
     const NetalyzrRun parallel = run_netalyzr(threads);
     EXPECT_EQ(parallel.sessions, serial.sessions) << threads << " workers";
     EXPECT_EQ(parallel.fingerprint, serial.fingerprint)
         << threads << " workers produced different session results";
+    EXPECT_EQ(parallel.mappings_created, serial.mappings_created)
+        << threads << " workers";
+    EXPECT_EQ(parallel.final_time, serial.final_time) << threads << " workers";
+  }
+}
+
+TEST(CampaignParallel, StolenShardsStayDeterministicUnderFaults) {
+  // A stormy fault plan makes shard runtimes uneven, so dynamic claiming
+  // actually moves shards between workers — results must still be
+  // bit-identical at 1/2/4/8 workers because every shard's randomness,
+  // clock and fault substreams key off the shard id, never the worker.
+  const NetalyzrRun serial = run_netalyzr(1, /*stormy=*/true);
+  ASSERT_GT(serial.sessions, 50u);
+
+  for (std::size_t threads :
+       {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    const NetalyzrRun parallel = run_netalyzr(threads, /*stormy=*/true);
+    EXPECT_EQ(parallel.fingerprint, serial.fingerprint)
+        << threads << " workers diverged under the stormy fault plan";
+    EXPECT_EQ(parallel.sessions, serial.sessions) << threads << " workers";
     EXPECT_EQ(parallel.mappings_created, serial.mappings_created)
         << threads << " workers";
     EXPECT_EQ(parallel.final_time, serial.final_time) << threads << " workers";

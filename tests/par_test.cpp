@@ -39,17 +39,71 @@ TEST(RunShards, SingleWorkerRunsInlineOnTheCallingThread) {
       1);
 }
 
-TEST(RunShards, AssignmentIsStaticRoundRobin) {
-  // Worker w holds metric slot w+1 for its lifetime, so the slot observed
-  // inside a shard identifies the worker it ran on: shard i must always be
-  // on worker i % workers, independent of timing.
+TEST(RunShards, DynamicAssignmentUsesValidDistinctSlots) {
+  // Shards are claimed from a self-scheduling queue, so which worker runs
+  // a shard is a scheduling accident — but every shard must observe a
+  // valid metric slot in [0, workers] (caller lane 0 keeps slot 0, pool
+  // worker w holds slot w+1), and a shard runs exactly once.
   constexpr std::size_t kWorkers = 4;
-  std::vector<std::size_t> slot_of(17, 0);
+  std::vector<std::atomic<int>> hits(17);
+  std::vector<std::size_t> slot_of(hits.size(), ~std::size_t{0});
   par::run_shards(
-      slot_of.size(),
-      [&](std::size_t s) { slot_of[s] = obs::thread_slot(); }, kWorkers);
-  for (std::size_t s = 0; s < slot_of.size(); ++s)
-    EXPECT_EQ(slot_of[s], s % kWorkers + 1) << "shard " << s;
+      hits.size(),
+      [&](std::size_t s) {
+        hits[s].fetch_add(1);
+        slot_of[s] = obs::thread_slot();
+      },
+      kWorkers);
+  for (std::size_t s = 0; s < hits.size(); ++s) {
+    EXPECT_EQ(hits[s].load(), 1) << "shard " << s;
+    EXPECT_LE(slot_of[s], kWorkers) << "shard " << s;
+  }
+}
+
+TEST(RunShards, OversubscribedFewShardsManyWorkers) {
+  // shard_count < workers: the pool caps its lanes at the shard count and
+  // the surplus workers claim nothing.
+  std::vector<std::atomic<int>> hits(3);
+  par::run_shards(
+      hits.size(), [&](std::size_t s) { hits[s].fetch_add(1); }, 16);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(RunShards, OversubscribedManyShardsFewWorkers) {
+  // shard_count >> workers: the queue drains completely and exactly once
+  // even when every worker loops through dozens of claims.
+  std::vector<std::atomic<int>> hits(257);
+  par::run_shards(
+      hits.size(), [&](std::size_t s) { hits[s].fetch_add(1); }, 2);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(RunShards, PersistentPoolIsReusedAcrossCampaigns) {
+  // Back-to-back fan-outs at the same worker count must not spawn new
+  // threads: the pool parks between jobs and wakes for the next one.
+  par::run_shards(8, [](std::size_t) {}, 4);
+  const std::size_t after_first = par::pool_thread_count();
+  EXPECT_GE(after_first, 3u);  // workers - 1 pool lanes (caller is lane 0)
+  for (int i = 0; i < 5; ++i) par::run_shards(8, [](std::size_t) {}, 4);
+  EXPECT_EQ(par::pool_thread_count(), after_first);
+  // A wider campaign may grow the pool; a narrower one never shrinks it.
+  par::run_shards(8, [](std::size_t) {}, 2);
+  EXPECT_EQ(par::pool_thread_count(), after_first);
+}
+
+TEST(RunShards, NestedFanOutRunsInline) {
+  // run_shards from inside a pool worker must not deadlock waiting for
+  // the (busy) pool: the nested call runs inline on the worker.
+  std::vector<std::atomic<int>> inner_hits(6);
+  par::run_shards(
+      4,
+      [&](std::size_t) {
+        par::run_shards(
+            inner_hits.size(),
+            [&](std::size_t i) { inner_hits[i].fetch_add(1); }, 4);
+      },
+      4);
+  for (auto& h : inner_hits) EXPECT_EQ(h.load(), 4);
 }
 
 TEST(RunShards, SingleFailureRethrowsTheOriginalException) {
@@ -124,6 +178,16 @@ TEST(ConfiguredThreads, ReadsAndClampsEnvironment) {
   ASSERT_EQ(setenv("CGN_THREADS", "9999", 1), 0);
   EXPECT_EQ(par::configured_threads(), obs::kMaxThreadSlots - 1);
   ASSERT_EQ(setenv("CGN_THREADS", "garbage", 1), 0);
+  EXPECT_EQ(par::configured_threads(), 1u);
+  // Trailing garbage must reject the whole value, not strtoul's prefix:
+  // "4x" used to silently run 4 workers.
+  ASSERT_EQ(setenv("CGN_THREADS", "4x", 1), 0);
+  EXPECT_EQ(par::configured_threads(), 1u);
+  ASSERT_EQ(setenv("CGN_THREADS", "-2", 1), 0);
+  EXPECT_EQ(par::configured_threads(), 1u);
+  ASSERT_EQ(setenv("CGN_THREADS", "+4", 1), 0);
+  EXPECT_EQ(par::configured_threads(), 1u);
+  ASSERT_EQ(setenv("CGN_THREADS", " 4", 1), 0);
   EXPECT_EQ(par::configured_threads(), 1u);
   ASSERT_EQ(unsetenv("CGN_THREADS"), 0);
 }

@@ -1,7 +1,8 @@
-// Tests for the per-node one-entry route cache in sim::Network: hits are
-// counted, route mutations (unregister/re-register) never serve a stale
-// next hop, and NAT restarts — which do not touch routes — keep translating
-// correctly through warmed caches.
+// Tests for the per-thread route-cache stripes in sim::Network (one cached
+// next hop per node per thread): hits are counted (batched per delivery),
+// route mutations (unregister/re-register) never serve a stale next hop in
+// any stripe, and NAT restarts — which do not touch routes — keep
+// translating correctly through warmed caches.
 #include <gtest/gtest.h>
 
 #include "nat/nat_device.hpp"
