@@ -70,12 +70,17 @@ class World {
   }
 
   /// Netalyzr campaign (+ detection), run once on demand.
+  /// `transition_battery` additionally runs the Big-NAT IPv6-transition
+  /// battery on every session (fig14); off by default so the classic
+  /// benches' campaigns stay byte-identical.
   const std::vector<netalyzr::SessionResult>& sessions(
-      double enum_fraction = 0.0, double stun_fraction = 0.0) {
+      double enum_fraction = 0.0, double stun_fraction = 0.0,
+      bool transition_battery = false) {
     if (!sessions_run_) {
       scenario::NetalyzrCampaignConfig cfg;
       cfg.enum_fraction = enum_fraction;
       cfg.stun_fraction = stun_fraction;
+      cfg.transition_battery = transition_battery;
       cfg.retry = retry_policy_from_env();
       cfg.supervise = supervisor_config_from_env("netalyzr");
       sessions_ = scenario::run_netalyzr_campaign(*internet_, cfg, &nz_report_);

@@ -17,7 +17,9 @@ block is optional: baselines recorded before supervision existed are still
 valid. Likewise optional: the top-level "observatory" block and the
 p50/p90/p99 quantiles on obs.metrics histograms (both introduced with the
 streaming observatory) — when present they are shape-checked (numeric,
-p50 <= p90 <= p99), when absent the file still validates.
+p50 <= p90 <= p99), when absent the file still validates. Figures from
+the transition family (bench_fig14_transition) get one extra check:
+every detect_acc_* entry must be a fraction in [0, 1].
 
 Bad input (missing file, malformed JSON, a baseline that is not a bench
 JSON) exits 2 with a one-line diagnosis, never a traceback; a genuine
@@ -107,6 +109,13 @@ def check_schema(doc, path):
         if not isinstance(value, (int, float)):
             raise BadInput(f"{path}: figure \"{name}\" is "
                            f"{type(value).__name__}, expected a number")
+        # The transition family (bench_fig14_transition and the
+        # observatory's fig14_transition set) reports detection accuracy
+        # per mechanism; an accuracy outside [0, 1] means the classifier's
+        # bookkeeping (correct > truth) broke, not a perf regression.
+        if name.startswith("detect_acc_") and not 0.0 <= value <= 1.0:
+            raise BadInput(f"{path}: figure \"{name}\" = {value} is outside "
+                           "[0, 1] — detection accuracies are fractions")
     obs = doc["obs"]
     for key in ("metrics", "phases"):
         if key not in obs:

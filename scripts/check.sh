@@ -8,8 +8,9 @@
 #   tsan     parallel-campaign ctest under TSan (build-tsan/,
 #            -DCGN_SANITIZE=thread, CGN_THREADS=4)
 #   bench    bench smoke: bench_perf_micro at 1 and 4 workers, fingerprints
-#            byte-identical, phase timings vs bench/baselines/ (see
-#            scripts/bench_smoke.sh and scripts/bench_compare.py)
+#            byte-identical, phase timings vs bench/baselines/, plus the
+#            fig01 and fig14 (transition) 1-vs-4-worker figure byte-compares
+#            (see scripts/bench_smoke.sh and scripts/bench_compare.py)
 #   recovery kill → resume differential smoke (build/): ctest -R
 #            'SuperRecovery' serial and at 4 workers — resumed campaigns
 #            must be byte-identical to uninterrupted ones
@@ -73,7 +74,8 @@ stage_recovery() {
 stage_bench() {
   echo "== bench: perf-micro smoke (fingerprints + regression gate) =="
   cmake -B build -S . >/dev/null
-  cmake --build build -j --target bench_perf_micro
+  cmake --build build -j --target bench_perf_micro \
+    --target bench_fig01_survey --target bench_fig14_transition
   scripts/bench_smoke.sh build
 }
 

@@ -1,7 +1,9 @@
 #include "analysis/figures.hpp"
 
 #include <ostream>
+#include <string>
 
+#include "analysis/stats.hpp"
 #include "obs/metrics.hpp"
 
 namespace cgn::analysis {
@@ -43,6 +45,23 @@ Figures tab05_figures(const CoverageResult& cov) {
        static_cast<double>(t.netalyzr_cellular[0].covered)},
       {"cellular_positive",
        static_cast<double>(t.netalyzr_cellular[0].positive)}};
+}
+
+Figures fig14_figures(const TransitionDetectionResult& tr) {
+  Figures f{{"observed_sessions", static_cast<double>(tr.observed_sessions)},
+            {"scored_ases", static_cast<double>(tr.scored_ases)}};
+  for (int i = 0; i < kTransitionVerdicts; ++i) {
+    const auto v = static_cast<TransitionVerdict>(i);
+    const MechanismScore& m = tr.of(v);
+    const std::string name(to_string(v));
+    f.emplace_back("detect_acc_" + name, m.accuracy());
+    f.emplace_back("truth_sessions_" + name,
+                   static_cast<double>(m.truth_sessions));
+    f.emplace_back("median_timeout_s_" + name,
+                   m.timeouts_s.empty() ? 0.0
+                                        : quantile(m.timeouts_s, 0.5));
+  }
+  return f;
 }
 
 void render_figures_json(std::ostream& os, const Figures& figures) {

@@ -13,6 +13,7 @@
 #include "analysis/bt_detector.hpp"
 #include "analysis/coverage.hpp"
 #include "analysis/netalyzr_detector.hpp"
+#include "analysis/transition.hpp"
 
 namespace cgn::analysis {
 
@@ -28,6 +29,11 @@ using Figures = std::vector<std::pair<std::string, double>>;
 
 /// Table 5 headline: populations plus combined/cellular coverage cells.
 [[nodiscard]] Figures tab05_figures(const CoverageResult& cov);
+
+/// Figure 14 headline (IPv6-transition comparison): per-mechanism
+/// detection accuracy (`detect_acc_*`, each in [0,1]), ground-truth
+/// session populations, and median measured translator timeouts.
+[[nodiscard]] Figures fig14_figures(const TransitionDetectionResult& tr);
 
 /// Renders `{"key":value,...}` exactly as write_bench_json does (12
 /// significant digits, obs::json_escape'd keys) — the byte-compare unit of

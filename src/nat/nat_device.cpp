@@ -75,6 +75,15 @@ std::string_view to_string(Pooling p) noexcept {
   return "?";
 }
 
+std::string_view to_string(TranslatorMode m) noexcept {
+  switch (m) {
+    case TranslatorMode::nat44: return "nat44";
+    case TranslatorMode::nat64: return "nat64";
+    case TranslatorMode::dslite_aftr: return "dslite-aftr";
+  }
+  return "?";
+}
+
 std::size_t NatDevice::OutKeyHash::operator()(const OutKey& k) const noexcept {
   return mix(mix(hash_endpoint(k.internal), hash_endpoint(k.remote)),
              static_cast<std::size_t>(k.proto));

@@ -51,6 +51,18 @@ enum class Pooling : std::uint8_t {
 
 [[nodiscard]] std::string_view to_string(Pooling p) noexcept;
 
+/// Which translation job a NatDevice core performs. The address-family
+/// adaptation (v6 parsing, pref64, softwire encap) lives in the cgn::v6
+/// wrapper elements; the mode is carried here so profiles, ground truth and
+/// introspection can name the deployment flavour uniformly.
+enum class TranslatorMode : std::uint8_t {
+  nat44,        ///< classic NAT444 CGN (the paper's subject)
+  nat64,        ///< RFC 6146 stateful v6->v4 translation (PLAT of 464XLAT)
+  dslite_aftr,  ///< RFC 6333 AFTR: NAT44 over a v4-in-v6 softwire
+};
+
+[[nodiscard]] std::string_view to_string(TranslatorMode m) noexcept;
+
 /// Full behavioural configuration of one NAT device (CPE or CGN).
 struct NatConfig {
   std::string name = "nat";

@@ -18,6 +18,7 @@ obs::Counter& g_sessions = obs::counter("netalyzr.sessions");
 obs::Counter& g_stun_tests = obs::counter("netalyzr.stun_tests");
 obs::Counter& g_enum_tests = obs::counter("netalyzr.enum_tests");
 obs::Counter& g_enum_experiments = obs::counter("netalyzr.enum_experiments");
+obs::Counter& g_transition_tests = obs::counter("netalyzr.transition_tests");
 }  // namespace
 
 NetalyzrClient::NetalyzrClient(ClientContext context, sim::PortDemux& demux,
@@ -63,6 +64,32 @@ void NetalyzrClient::handle(sim::Network&, const sim::Packet& pkt) {
   }
 }
 
+void NetalyzrClient::resolve_for_v6(netcore::Ipv4Address name) {
+  if (!ctx_.v6stack || !ctx_.dns64) return;
+  ctx_.v6stack->note_resolved(name, ctx_.dns64->resolve_aaaa(name).aaaa);
+}
+
+bool NetalyzrClient::echo_flow(sim::Network& net, sim::Clock* clock,
+                               netcore::Endpoint dst,
+                               std::vector<FlowObservation>* flows,
+                               SessionResult* result) {
+  std::uint16_t port = next_ephemeral_port();
+  bind(port);
+  return fault::retry_loop(retry_, clock, &rng_, [&] {
+    std::uint64_t tx = next_tx_++;
+    last_echo_.reset();
+    sim::Packet pkt = sim::Packet::tcp({ctx_.device_address, port}, dst);
+    pkt.payload = NetalyzrMessage{EchoRequest{tx}};
+    net.send(std::move(pkt), ctx_.host);
+    if (!(last_echo_ && last_echo_->tx == tx)) return false;
+    if (flows)
+      flows->push_back(FlowObservation{port, last_echo_->observed});
+    if (result && !result->ip_pub)
+      result->ip_pub = last_echo_->observed.address;
+    return true;
+  });
+}
+
 SessionResult NetalyzrClient::run_basic(sim::Network& net,
                                         NetalyzrServer& server,
                                         sim::Clock* clock) {
@@ -76,25 +103,16 @@ SessionResult NetalyzrClient::run_basic(sim::Network& net,
     result.cpe_model = ctx_.upnp_cpe->config().name;
   }
 
+  // On a v6-only line the OS resolves the server name before connecting —
+  // which is what routes the flow through the NAT64 (DNS64-synthesized
+  // AAAA). The literal address is deliberately never resolved.
+  resolve_for_v6(server.echo_endpoint().address);
+
   // Ten sequential TCP flows to the echo server (§6.2). A flow whose reply
   // is lost retransmits from the same local port (same socket, new tx),
   // paying backoff on the session clock.
-  for (int i = 0; i < 10; ++i) {
-    std::uint16_t port = next_ephemeral_port();
-    bind(port);
-    fault::retry_loop(retry_, clock, &rng_, [&] {
-      std::uint64_t tx = next_tx_++;
-      last_echo_.reset();
-      sim::Packet pkt = sim::Packet::tcp({ctx_.device_address, port},
-                                         server.echo_endpoint());
-      pkt.payload = NetalyzrMessage{EchoRequest{tx}};
-      net.send(std::move(pkt), ctx_.host);
-      if (!(last_echo_ && last_echo_->tx == tx)) return false;
-      result.tcp_flows.push_back(FlowObservation{port, last_echo_->observed});
-      if (!result.ip_pub) result.ip_pub = last_echo_->observed.address;
-      return true;
-    });
-  }
+  for (int i = 0; i < 10; ++i)
+    echo_flow(net, clock, server.echo_endpoint(), &result.tcp_flows, &result);
   return result;
 }
 
@@ -102,6 +120,8 @@ void NetalyzrClient::run_stun(sim::Network& net,
                               const stun::StunServer& server,
                               SessionResult& result) {
   g_stun_tests.inc();
+  resolve_for_v6(server.primary().address);
+  resolve_for_v6(server.alternate_address().address);
   std::uint16_t port = next_ephemeral_port();
   stun::StunClient client(ctx_.host, {ctx_.device_address, port}, *demux_);
   result.stun = client.classify(net, server);
@@ -224,6 +244,67 @@ void NetalyzrClient::run_enumeration(sim::Network& net, sim::Clock& clock,
   }
 
   result.enumeration = out;
+}
+
+void NetalyzrClient::run_transition(sim::Network& net, sim::Clock& clock,
+                                    NetalyzrServer& server,
+                                    const TransitionBatteryConfig& config,
+                                    SessionResult& result) {
+  g_transition_tests.inc();
+  TransitionObservation obs;
+
+  // (a) pref64 discovery: resolve the IPv4-only anchors through the carrier
+  // resolver and scan the RFC 6052 lengths. Only a DNS64 synthesizes an
+  // AAAA for these names, so detection == "a NAT64 path exists".
+  if (ctx_.dns64) {
+    if (auto pref = v6::discover_pref64(*ctx_.dns64)) {
+      obs.pref64_detected = true;
+      obs.pref64_length = pref->length();
+    }
+  }
+
+  // (b) literal-v4 reachability: one echo flow to the server's second
+  // address, bypassing DNS. Works through NAT444, DS-Lite and 464XLAT
+  // (CLAT translates literals statelessly); dies on a v6-only NAT64 line.
+  // Together with (a) this separates NAT64-only from 464XLAT.
+  if (server.has_literal_address())
+    obs.literal_v4_ok = echo_flow(net, &clock, server.literal_echo_endpoint(),
+                                  nullptr, nullptr);
+
+  // (c) Translator-timeout sweep: open a UDP flow, starve the whole path
+  // for tidle, then have the server probe the mapped endpoint. The first
+  // idle period the probe misses bounds the path's minimum mapping timeout
+  // — the per-carrier number the Big-NAT study tabulates.
+  for (double tidle = config.timeout_granularity_s;
+       tidle <= config.timeout_max_s + 1e-9;
+       tidle += config.timeout_granularity_s) {
+    const std::uint64_t flow = rng_.uniform(1, ~std::uint64_t{0} - 1);
+    const std::uint16_t port = next_ephemeral_port();
+    bind(port);
+    const bool acked = fault::retry_loop(retry_, nullptr, nullptr, [&] {
+      last_ack_.reset();
+      sim::Packet init =
+          sim::Packet::udp({ctx_.device_address, port}, server.udp_endpoint());
+      init.payload = NetalyzrMessage{UdpInit{flow}};
+      net.send(std::move(init), ctx_.host);
+      return last_ack_ && last_ack_->flow == flow;
+    });
+    if (!acked) break;
+    clock.advance(tidle);
+    bool reached = false;
+    fault::retry_loop(retry_, nullptr, nullptr, [&] {
+      const std::uint64_t seq = next_tx_++;
+      server.send_probe(net, flow, seq);
+      reached = received_probes_.contains(FlowKey{flow, seq});
+      return reached;
+    });
+    if (!reached) {
+      obs.translator_timeout_s = tidle;
+      break;
+    }
+  }
+
+  result.transition = obs;
 }
 
 }  // namespace cgn::netalyzr

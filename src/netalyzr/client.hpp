@@ -24,6 +24,8 @@
 #include "sim/demux.hpp"
 #include "sim/rng.hpp"
 #include "stun/stun.hpp"
+#include "v6/dns64.hpp"
+#include "v6/translator.hpp"
 
 namespace cgn::netalyzr {
 
@@ -36,6 +38,22 @@ struct ClientContext {
   /// UPnP channel to the first-hop CPE, when the CPE offers UPnP (the paper
   /// could query it in ~40% of sessions). Null when unavailable.
   const nat::NatDevice* upnp_cpe = nullptr;
+  /// The carrier's DNS64-capable resolver, when the line is v6-routed
+  /// (NAT64/464XLAT). Null on v4-only and DS-Lite lines.
+  const v6::Dns64Resolver* dns64 = nullptr;
+  /// The host's v6-only stack (NAT64 line without CLAT). When set, the
+  /// client resolves server names before connecting, as a real OS would —
+  /// unresolved v4 literals cannot leave the host.
+  v6::HostV6Stack* v6stack = nullptr;
+};
+
+/// Knobs of the Big-NAT transition battery (run_transition).
+struct TransitionBatteryConfig {
+  /// Idle-sweep step — also the timeout measurement granularity. Coarser
+  /// than the TTL enumeration sweep to bound per-session cost.
+  double timeout_granularity_s = 15.0;
+  /// Longest idle period probed.
+  double timeout_max_s = 120.0;
 };
 
 struct TtlEnumConfig {
@@ -76,6 +94,16 @@ class NetalyzrClient {
                        NetalyzrServer& server, const TtlEnumConfig& config,
                        SessionResult& result);
 
+  /// Big-NAT transition battery ("Tracking the Big NAT"): pref64 discovery
+  /// via the carrier resolver (RFC 7050 anchors), a literal-v4 echo probe
+  /// against the server's never-resolved second address, and a coarse
+  /// full-path idle sweep measuring the translator's mapping timeout.
+  /// Stores a TransitionObservation into `result`.
+  void run_transition(sim::Network& net, sim::Clock& clock,
+                      NetalyzrServer& server,
+                      const TransitionBatteryConfig& config,
+                      SessionResult& result);
+
  private:
   struct FlowKey {
     std::uint64_t flow;
@@ -91,6 +119,13 @@ class NetalyzrClient {
   void handle(sim::Network& net, const sim::Packet& pkt);
   std::uint16_t next_ephemeral_port();
   void bind(std::uint16_t port);
+  /// On a v6-only line, resolves `name` through the carrier DNS64 and
+  /// teaches the host stack the AAAA, as a real OS resolver would before
+  /// connect(). No-op on lines with a v4 path (CLAT, DS-Lite, NAT444).
+  void resolve_for_v6(netcore::Ipv4Address name);
+  /// One TCP echo flow to `dst`; true when the echo came back.
+  bool echo_flow(sim::Network& net, sim::Clock* clock, netcore::Endpoint dst,
+                 std::vector<FlowObservation>* flows, SessionResult* result);
   /// One §6.3 reachability experiment for hop `h` with idle period `tidle`.
   /// Returns true when the final server probe reached the client, nullopt
   /// when the experiment could not be set up (init never acked).

@@ -10,6 +10,13 @@ void NetalyzrServer::install(sim::Network& net) {
   });
 }
 
+void NetalyzrServer::install_literal_address(sim::Network& net,
+                                             netcore::Ipv4Address a) {
+  literal_address_ = a;
+  net.add_local_address(host_, a);
+  net.register_address(a, host_, net.root());
+}
+
 void NetalyzrServer::handle(sim::Network& net, const sim::Packet& pkt) {
   const auto* msg = std::any_cast<NetalyzrMessage>(&pkt.payload);
   if (!msg) return;

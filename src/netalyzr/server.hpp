@@ -27,6 +27,19 @@ class NetalyzrServer {
   /// Registers address and receiver; the host node must hang off the core.
   void install(sim::Network& net);
 
+  /// Registers a second public address for the same host, reachable only by
+  /// v4 literal (the Big-NAT battery never resolves it through DNS, so a
+  /// v6-only stack has no AAAA for it and literal flows die at the host).
+  /// Installed by the builder only in v6-transition worlds.
+  void install_literal_address(sim::Network& net, netcore::Ipv4Address a);
+
+  [[nodiscard]] bool has_literal_address() const noexcept {
+    return literal_address_.value() != 0;
+  }
+  [[nodiscard]] netcore::Endpoint literal_echo_endpoint() const noexcept {
+    return {literal_address_, kEchoPort};
+  }
+
   [[nodiscard]] netcore::Endpoint echo_endpoint() const noexcept {
     return {address_, kEchoPort};
   }
@@ -66,6 +79,7 @@ class NetalyzrServer {
 
   sim::NodeId host_;
   netcore::Ipv4Address address_;
+  netcore::Ipv4Address literal_address_;  ///< 0.0.0.0 when not installed
   /// Sessions from different campaign shards hit the one public server
   /// concurrently, but flow ids are namespaced per shard and a shard's
   /// sends are synchronous on one worker thread — a flow's UdpInit and

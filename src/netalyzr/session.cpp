@@ -57,6 +57,13 @@ std::uint64_t fingerprint(const SessionResult& r) noexcept {
       if (hop.timeout_s) mix(h, *hop.timeout_s);
     }
   }
+  if (r.transition) {
+    mix(h, std::uint64_t{r.transition->pref64_detected});
+    mix(h, std::uint64_t(r.transition->pref64_length));
+    mix(h, std::uint64_t{r.transition->literal_v4_ok});
+    if (r.transition->translator_timeout_s)
+      mix(h, *r.transition->translator_timeout_s);
+  }
   return h;
 }
 

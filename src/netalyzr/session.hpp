@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "nat/nat_types.hpp"
 #include "netcore/as_registry.hpp"
 #include "netcore/ipv4.hpp"
 #include "stun/stun.hpp"
@@ -45,10 +46,29 @@ struct TtlEnumResult {
   }
 };
 
+/// Results of the Big-NAT transition battery ("Tracking the Big NAT"
+/// methodology): pref64 discovery through the carrier resolver, a literal
+/// v4 reachability probe (no DNS), and a coarse translator-timeout sweep.
+/// Everything here is measured from the client side — no ground truth.
+struct TransitionObservation {
+  bool pref64_detected = false;  ///< DNS64 synthesized the IPv4-only anchors
+  int pref64_length = 0;         ///< discovered RFC 6052 length, 0 if none
+  bool literal_v4_ok = false;    ///< echo to a never-resolved v4 literal
+  /// Idle seconds after which the path's translator dropped the mapping
+  /// (granularity-bounded); unset when the sweep never saw an expiry.
+  std::optional<double> translator_timeout_s;
+};
+
 /// Aggregated outcome of a full Netalyzr session.
 struct SessionResult {
   netcore::Asn asn = 0;
   bool cellular = false;
+  /// Ground-truth stamps of the vantage line (facts of where the session
+  /// ran, like `asn` — not measurements): the line's transition mechanism
+  /// and whether it runs a CLAT. nat44 / false on every v4 line; fig14's
+  /// accuracy scoring compares the battery's verdicts against these.
+  nat::TranslatorMode line_mode = nat::TranslatorMode::nat44;
+  bool line_clat = false;
 
   netcore::Ipv4Address ip_dev;                 ///< device-local address
   std::optional<netcore::Ipv4Address> ip_cpe;  ///< CPE external IP via UPnP
@@ -58,6 +78,9 @@ struct SessionResult {
   std::vector<FlowObservation> tcp_flows;      ///< port-translation test
   std::optional<stun::StunOutcome> stun;       ///< STUN test (subset)
   std::optional<TtlEnumResult> enumeration;    ///< TTL enumeration (subset)
+  /// Big-NAT battery (v6-transition worlds only); absent in v4-only
+  /// campaigns so their fingerprints stay byte-identical to PR 7.
+  std::optional<TransitionObservation> transition;
 };
 
 /// Order-sensitive FNV-1a digest of every observation in `r`. Two sessions

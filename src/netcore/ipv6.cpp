@@ -1,0 +1,216 @@
+#include "netcore/ipv6.hpp"
+
+#include <array>
+#include <charconv>
+#include <stdexcept>
+
+namespace cgn::netcore {
+namespace {
+
+// Byte offsets (network order) of the four embedded IPv4 bytes for each
+// RFC 6052 prefix length. Byte 8 — the reserved "u" octet — is skipped for
+// every length that straddles it.
+constexpr std::array<std::array<int, 4>, 6> kEmbedBytes{{
+    {4, 5, 6, 7},     // /32
+    {5, 6, 7, 9},     // /40
+    {6, 7, 9, 10},    // /48
+    {7, 9, 10, 11},   // /56
+    {9, 10, 11, 12},  // /64
+    {12, 13, 14, 15}, // /96
+}};
+
+const std::array<int, 4>* embed_bytes(int length) noexcept {
+  for (int i = 0; i < kPref64LengthCount; ++i)
+    if (kPref64Lengths[i] == length) return &kEmbedBytes[i];
+  return nullptr;
+}
+
+bool parse_hextet(std::string_view text, std::uint16_t& out) noexcept {
+  if (text.empty() || text.size() > 4) return false;
+  std::uint32_t v = 0;
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), v, 16);
+  if (ec != std::errc{} || ptr != text.data() + text.size() || v > 0xffff)
+    return false;
+  out = static_cast<std::uint16_t>(v);
+  return true;
+}
+
+}  // namespace
+
+std::optional<Ipv6Address> Ipv6Address::try_parse(
+    std::string_view text) noexcept {
+  // Split on "::" (at most one occurrence), then each side on ':'. A
+  // trailing dotted-quad contributes two hextets.
+  if (text.empty()) return std::nullopt;
+  std::size_t gap = text.find("::");
+  if (gap != std::string_view::npos &&
+      text.find("::", gap + 1) != std::string_view::npos)
+    return std::nullopt;
+
+  auto split_groups = [](std::string_view part,
+                         std::array<std::uint16_t, 8>& groups, int& count,
+                         bool allow_v4_tail) noexcept -> bool {
+    if (part.empty()) return true;
+    std::size_t pos = 0;
+    while (true) {
+      std::size_t next = part.find(':', pos);
+      std::string_view tok = part.substr(
+          pos, next == std::string_view::npos ? next : next - pos);
+      bool last = next == std::string_view::npos;
+      if (last && allow_v4_tail &&
+          tok.find('.') != std::string_view::npos) {
+        auto v4 = Ipv4Address::try_parse(tok);
+        if (!v4 || count > 6) return false;
+        groups[count++] = static_cast<std::uint16_t>(v4->value() >> 16);
+        groups[count++] = static_cast<std::uint16_t>(v4->value() & 0xffff);
+        return true;
+      }
+      std::uint16_t h = 0;
+      if (!parse_hextet(tok, h) || count >= 8) return false;
+      groups[count++] = h;
+      if (last) return true;
+      pos = next + 1;
+    }
+  };
+
+  std::array<std::uint16_t, 8> head{};
+  std::array<std::uint16_t, 8> tail{};
+  int nhead = 0;
+  int ntail = 0;
+  if (gap == std::string_view::npos) {
+    if (!split_groups(text, head, nhead, /*allow_v4_tail=*/true) ||
+        nhead != 8)
+      return std::nullopt;
+  } else {
+    if (!split_groups(text.substr(0, gap), head, nhead, false))
+      return std::nullopt;
+    if (!split_groups(text.substr(gap + 2), tail, ntail, true))
+      return std::nullopt;
+    // "::" stands for at least one zero group.
+    if (nhead + ntail > 7) return std::nullopt;
+  }
+
+  std::array<std::uint16_t, 8> groups{};
+  for (int i = 0; i < nhead; ++i) groups[static_cast<std::size_t>(i)] = head[static_cast<std::size_t>(i)];
+  for (int i = 0; i < ntail; ++i)
+    groups[static_cast<std::size_t>(8 - ntail + i)] = tail[static_cast<std::size_t>(i)];
+
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  for (int i = 0; i < 4; ++i) hi = (hi << 16) | groups[static_cast<std::size_t>(i)];
+  for (int i = 4; i < 8; ++i) lo = (lo << 16) | groups[static_cast<std::size_t>(i)];
+  return Ipv6Address(hi, lo);
+}
+
+Ipv6Address Ipv6Address::parse(std::string_view text) {
+  auto a = try_parse(text);
+  if (!a)
+    throw std::invalid_argument("bad IPv6 address: " + std::string(text));
+  return *a;
+}
+
+std::string Ipv6Address::to_string() const {
+  // RFC 5952: compress the longest run (>= 2) of zero hextets.
+  int best_start = -1;
+  int best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (hextet(i) != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && hextet(j) == 0) ++j;
+    if (j - i > best_len) {
+      best_len = j - i;
+      best_start = i;
+    }
+    i = j;
+  }
+  if (best_len < 2) best_start = -1;
+
+  std::string out;
+  char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    if (best_start >= 0 && i == best_start) {
+      out += i == 0 ? "::" : ":";
+      i += best_len - 1;
+      if (i == 7) out += ":";
+      continue;
+    }
+    auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, hextet(i), 16);
+    out.append(buf, ptr);
+    if (i != 7) out += ':';
+  }
+  return out;
+}
+
+Ipv6Prefix::Ipv6Prefix(Ipv6Address address, int length) : length_(length) {
+  if (length < 0 || length > 128)
+    throw std::invalid_argument("bad IPv6 prefix length");
+  std::uint64_t hi_mask =
+      length >= 64 ? ~std::uint64_t{0}
+                   : (length == 0 ? 0 : ~std::uint64_t{0} << (64 - length));
+  std::uint64_t lo_mask =
+      length <= 64 ? 0
+                   : ~std::uint64_t{0} << (128 - length);
+  address_ = Ipv6Address(address.hi() & hi_mask, address.lo() & lo_mask);
+}
+
+Ipv6Prefix Ipv6Prefix::parse(std::string_view text) {
+  std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos)
+    throw std::invalid_argument("bad IPv6 prefix: " + std::string(text));
+  Ipv6Address addr = Ipv6Address::parse(text.substr(0, slash));
+  std::string_view len_text = text.substr(slash + 1);
+  int length = -1;
+  auto [ptr, ec] = std::from_chars(len_text.data(),
+                                   len_text.data() + len_text.size(), length);
+  if (ec != std::errc{} || ptr != len_text.data() + len_text.size())
+    throw std::invalid_argument("bad IPv6 prefix: " + std::string(text));
+  return Ipv6Prefix(addr, length);
+}
+
+bool Ipv6Prefix::contains(Ipv6Address a) const noexcept {
+  std::uint64_t hi_mask =
+      length_ >= 64 ? ~std::uint64_t{0}
+                    : (length_ == 0 ? 0 : ~std::uint64_t{0} << (64 - length_));
+  std::uint64_t lo_mask =
+      length_ <= 64 ? 0 : ~std::uint64_t{0} << (128 - length_);
+  return (a.hi() & hi_mask) == address_.hi() &&
+         (a.lo() & lo_mask) == address_.lo();
+}
+
+std::string Ipv6Prefix::to_string() const {
+  return address_.to_string() + "/" + std::to_string(length_);
+}
+
+Ipv6Prefix well_known_pref64() {
+  return Ipv6Prefix(Ipv6Address(0x0064ff9b00000000ULL, 0), 96);
+}
+
+Ipv6Address pref64_embed(const Ipv6Prefix& pref64, Ipv4Address v4) {
+  const auto* bytes = embed_bytes(pref64.length());
+  if (!bytes)
+    throw std::invalid_argument("pref64 length must be one of /32 /40 /48 "
+                                "/56 /64 /96, got /" +
+                                std::to_string(pref64.length()));
+  Ipv6Address a = pref64.address();
+  for (int i = 0; i < 4; ++i)
+    a = a.with_byte((*bytes)[static_cast<std::size_t>(i)],
+                    v4.octet(i));
+  return a;
+}
+
+std::optional<Ipv4Address> pref64_extract(const Ipv6Prefix& pref64,
+                                          Ipv6Address a) noexcept {
+  const auto* bytes = embed_bytes(pref64.length());
+  if (!bytes || !pref64.contains(a)) return std::nullopt;
+  // The reserved "u" octet (byte 8) must be zero whenever it sits in the
+  // suffix; for /96 the prefix itself covers it.
+  if (pref64.length() < 96 && a.byte(8) != 0) return std::nullopt;
+  return Ipv4Address(a.byte((*bytes)[0]), a.byte((*bytes)[1]),
+                     a.byte((*bytes)[2]), a.byte((*bytes)[3]));
+}
+
+}  // namespace cgn::netcore

@@ -127,6 +127,8 @@ void Observatory::ingest(const StreamEvent& event) {
       break;
     case StreamEvent::Kind::nz_session:
       nz_.ingest(event.session);
+      if (event.session.transition)
+        transition_sessions_.push_back(event.session);
       ++current_window_.sessions;
       sessions_counter_.inc();
       break;
@@ -203,13 +205,30 @@ analysis::CoverageResult Observatory::coverage_snapshot() const {
   return cov;
 }
 
+analysis::TransitionDetectionResult Observatory::transition_snapshot() const {
+  std::vector<netalyzr::SessionResult> sessions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sessions = transition_sessions_;
+  }
+  // The detector's aggregates are order-independent (counts + sorted
+  // quantiles), so a stream prefix scores exactly like the same sessions
+  // batch-analyzed by bench_fig14_transition.
+  return analysis::TransitionDetector().analyze(sessions);
+}
+
 std::map<std::string, analysis::Figures> Observatory::figure_sets() const {
   std::map<std::string, analysis::Figures> sets;
-  // Each snapshot locks on its own; the three sets need not be a single
+  // Each snapshot locks on its own; the sets need not be a single
   // atomic cut — each one individually is exact for some stream prefix.
   sets["fig04_clusters"] = analysis::fig04_figures(bt_snapshot());
   sets["fig05_netalyzr_candidates"] = analysis::fig05_figures(nz_snapshot());
   sets["tab05_coverage"] = analysis::tab05_figures(coverage_snapshot());
+  // Served only once transition-battery sessions appear, so v4-only
+  // campaigns keep their historical /figures byte-shape.
+  const analysis::TransitionDetectionResult tr = transition_snapshot();
+  if (tr.observed_sessions > 0)
+    sets["fig14_transition"] = analysis::fig14_figures(tr);
   return sets;
 }
 

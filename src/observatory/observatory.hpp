@@ -122,10 +122,15 @@ class Observatory {
   [[nodiscard]] analysis::BtDetectionResult bt_snapshot() const;
   [[nodiscard]] analysis::NetalyzrDetectionResult nz_snapshot() const;
   [[nodiscard]] analysis::CoverageResult coverage_snapshot() const;
+  /// Transition-mechanism scoring over every battery-carrying session
+  /// ingested so far (empty result in v4-only campaigns).
+  [[nodiscard]] analysis::TransitionDetectionResult transition_snapshot()
+      const;
 
   /// The bench figure sets computed from the current stream state, keyed
   /// by bench name ("fig04_clusters", "fig05_netalyzr_candidates",
-  /// "tab05_coverage").
+  /// "tab05_coverage", plus "fig14_transition" once battery sessions
+  /// appear on the stream).
   [[nodiscard]] std::map<std::string, analysis::Figures> figure_sets() const;
 
   /// JSON bodies of the endpoints (also useful headless, without serve()).
@@ -160,6 +165,10 @@ class Observatory {
   mutable std::mutex mu_;
   analysis::StreamingBtAnalyzer bt_;
   analysis::StreamingNetalyzrClassifier nz_;
+  /// Battery-carrying sessions retained verbatim: the transition verdicts
+  /// need AS-level aggregates (the DS-Lite signature), so fig14 re-runs
+  /// the batch detector over them on demand. Empty in v4-only campaigns.
+  std::vector<netalyzr::SessionResult> transition_sessions_;
   std::uint64_t ingested_ = 0;
   std::uint64_t stream_total_ = 0;
   bool stream_done_ = false;

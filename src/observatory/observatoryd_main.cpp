@@ -91,6 +91,9 @@ int main(int argc, char** argv) {
   driver_cfg.crawl.supervise =
       scenario::supervisor_config_from_env("crawl_ping");
   driver_cfg.netalyzr.retry = scenario::retry_policy_from_env();
+  // In a v6-transition world (CGN_V6_TRANSITION=1) sessions run the
+  // Big-NAT battery, which makes /figures grow the fig14_transition set.
+  driver_cfg.netalyzr.transition_battery = driver_cfg.world.v6.enabled;
   driver_cfg.netalyzr.supervise =
       scenario::supervisor_config_from_env("netalyzr");
   driver_cfg.netalyzr.supervise.abort_after_shards = abort_after_shards;

@@ -19,7 +19,7 @@ namespace {
 // little-endian encoding via super::wire — see DESIGN.md §11. Bump the
 // payload version constants when a struct here changes shape.
 
-constexpr std::uint64_t kNetalyzrPayloadVersion = 1;
+constexpr std::uint64_t kNetalyzrPayloadVersion = 2;  // v2: +transition
 constexpr std::uint64_t kPingPayloadVersion = 1;
 
 void put_endpoint(super::wire::Writer& w, const netcore::Endpoint& ep) {
@@ -36,6 +36,8 @@ netcore::Endpoint get_endpoint(super::wire::Reader& r) {
 void put_session(super::wire::Writer& w, const netalyzr::SessionResult& s) {
   w.u32(s.asn);
   w.boolean(s.cellular);
+  w.u8(static_cast<std::uint8_t>(s.line_mode));
+  w.boolean(s.line_clat);
   w.u32(s.ip_dev.value());
   w.boolean(s.ip_cpe.has_value());
   if (s.ip_cpe) w.u32(s.ip_cpe->value());
@@ -66,12 +68,23 @@ void put_session(super::wire::Writer& w, const netalyzr::SessionResult& s) {
     }
     w.u32(static_cast<std::uint32_t>(s.enumeration->experiments));
   }
+  w.boolean(s.transition.has_value());
+  if (s.transition) {
+    w.boolean(s.transition->pref64_detected);
+    w.u32(static_cast<std::uint32_t>(s.transition->pref64_length));
+    w.boolean(s.transition->literal_v4_ok);
+    w.boolean(s.transition->translator_timeout_s.has_value());
+    if (s.transition->translator_timeout_s)
+      w.f64(*s.transition->translator_timeout_s);
+  }
 }
 
 netalyzr::SessionResult get_session(super::wire::Reader& r) {
   netalyzr::SessionResult s;
   s.asn = r.u32();
   s.cellular = r.boolean();
+  s.line_mode = static_cast<nat::TranslatorMode>(r.u8());
+  s.line_clat = r.boolean();
   s.ip_dev = netcore::Ipv4Address(r.u32());
   if (r.boolean()) s.ip_cpe = netcore::Ipv4Address(r.u32());
   if (r.boolean()) s.cpe_model = std::string(r.str());
@@ -102,6 +115,14 @@ netalyzr::SessionResult get_session(super::wire::Reader& r) {
     }
     e.experiments = static_cast<int>(r.u32());
     s.enumeration = std::move(e);
+  }
+  if (r.boolean()) {
+    netalyzr::TransitionObservation t;
+    t.pref64_detected = r.boolean();
+    t.pref64_length = static_cast<int>(r.u32());
+    t.literal_v4_ok = r.boolean();
+    if (r.boolean()) t.translator_timeout_s = r.f64();
+    s.transition = t;
   }
   return s;
 }
@@ -382,17 +403,29 @@ std::vector<netalyzr::SessionResult> run_netalyzr_campaign(
           ctx.asn = isp.asn;
           ctx.cellular = isp.cellular;
           ctx.upnp_cpe = sub.cpe_upnp ? sub.cpe : nullptr;
+          // v6 lines: NAT64/464XLAT clients use the carrier's DNS64; bare
+          // v6-only lines additionally resolve through their host stack.
+          if (sub.v6_mode == nat::TranslatorMode::nat64) {
+            ctx.dns64 = isp.dns64;
+            ctx.v6stack = sub.v6stack;
+          }
 
           netalyzr::NetalyzrClient client(ctx, *sub.demux, rng.fork(),
                                           config.retry);
           netalyzr::SessionResult session = client.run_basic(
               internet.net, *internet.servers.netalyzr, &clock);
+          session.line_mode = sub.v6_mode;
+          session.line_clat = sub.has_clat;
           if (rng.chance(config.stun_fraction))
             client.run_stun(internet.net, *internet.servers.stun, session);
           if (rng.chance(config.enum_fraction))
             client.run_enumeration(internet.net, clock,
                                    *internet.servers.netalyzr,
                                    config.enum_config, session);
+          if (config.transition_battery)
+            client.run_transition(internet.net, clock,
+                                  *internet.servers.netalyzr,
+                                  config.transition_config, session);
           results.push_back(std::move(session));
           clock.advance(config.inter_session_gap_s);
         }

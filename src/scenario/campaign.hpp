@@ -67,6 +67,11 @@ struct NetalyzrCampaignConfig {
   double enum_fraction = 0.30;
   double stun_fraction = 0.50;
   netalyzr::TtlEnumConfig enum_config;
+  /// Runs the Big-NAT transition battery in every session. Enable only in
+  /// v6-transition worlds: the battery draws client RNG, so default-world
+  /// campaigns leave it off to stay byte-identical with pre-v6 builds.
+  bool transition_battery = false;
+  netalyzr::TransitionBatteryConfig transition_config;
   double inter_session_gap_s = 300.0;  ///< idle gap between sessions
   /// Probe retransmission policy handed to every NetalyzrClient. Default:
   /// fire once, as the original client did.

@@ -83,6 +83,31 @@ inline fault::RetryPolicy retry_policy_from_env() {
   return retry;
 }
 
+/// The IPv6-transition scenario, from the environment. CGN_V6_TRANSITION=1
+/// enables the v6 world (default off: v4-only, figures byte-identical to a
+/// pre-v6 build); the CGN_V6_* fractions tune the per-AS mechanism mix,
+/// the per-line CLAT share and the Well-Known-Prefix probability. All v6
+/// code paths read these knobs through this function — never getenv.
+inline V6ScenarioConfig v6_config_from_env() {
+  V6ScenarioConfig v6;
+  v6.enabled = env_u64("CGN_V6_TRANSITION", 0) != 0;
+  v6.cellular_nat64_fraction =
+      env_double("CGN_V6_CELL_NAT64", v6.cellular_nat64_fraction);
+  v6.cellular_dslite_fraction =
+      env_double("CGN_V6_CELL_DSLITE", v6.cellular_dslite_fraction);
+  v6.fixed_nat64_fraction =
+      env_double("CGN_V6_FIXED_NAT64", v6.fixed_nat64_fraction);
+  v6.fixed_dslite_fraction =
+      env_double("CGN_V6_FIXED_DSLITE", v6.fixed_dslite_fraction);
+  v6.cellular_clat_fraction =
+      env_double("CGN_V6_CELL_CLAT", v6.cellular_clat_fraction);
+  v6.fixed_clat_fraction =
+      env_double("CGN_V6_FIXED_CLAT", v6.fixed_clat_fraction);
+  v6.well_known_pref64_fraction =
+      env_double("CGN_V6_WKP64", v6.well_known_pref64_fraction);
+  return v6;
+}
+
 /// The calibrated world, scaled. Scale 1.0 is a 1:8 model of the paper's
 /// Internet (6,500 routed ASes, 360 PBL eyeballs, ...).
 inline InternetConfig scaled_config() {
@@ -98,6 +123,7 @@ inline InternetConfig scaled_config() {
   cfg.apnic_eyeballs = scaled(cfg.apnic_eyeballs);
   cfg.cellular_ases = scaled(cfg.cellular_ases);
   cfg.fault_plan = fault_plan_from_env();
+  cfg.v6 = v6_config_from_env();
   return cfg;
 }
 

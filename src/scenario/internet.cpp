@@ -17,6 +17,32 @@ const char* kUnroutedInternalBlocks[] = {"25.0.0.0/8",  "21.0.0.0/8",
                                          "30.0.0.0/8",  "33.0.0.0/8",
                                          "51.0.0.0/8"};
 
+// --- IPv6 transition (DESIGN.md §14) ---------------------------------------
+
+/// Salt of the per-AS v6 substream (fork(seed ^ salt, asn)): independent of
+/// the main builder RNG, so enabling v6 perturbs no v4 draw.
+constexpr std::uint64_t kV6BuilderSalt = 0x76365f6e6174ull;  // "v6_nat"
+
+/// The RFC 7335 well-known CLAT-side address every 464XLAT line shows as
+/// its local IPv4 — the duplicate-ip_dev signal the fig14 classifier keys
+/// on.
+constexpr netcore::Ipv4Address kClatDeviceV4{192, 0, 0, 1};
+/// Factory-default LAN address of the B4 home router's single device; like
+/// the CLAT address, identical across every DS-Lite home.
+constexpr netcore::Ipv4Address kB4DeviceV4{192, 168, 1, 2};
+
+/// Per-ISP AFTR tunnel endpoint: 2001:db8:0:<asn>::1.
+netcore::Ipv6Address aftr_address_for(std::uint64_t asn) {
+  return {0x20010db800000000ull | asn, 1};
+}
+
+/// Per-line device/B4 v6 address: 2001:db8:<1|2>:<asn>::<line+1>.
+netcore::Ipv6Address line_v6_address(std::uint64_t block, std::uint64_t asn,
+                                     int index) {
+  return {0x20010db800000000ull | (block << 16) | asn,
+          static_cast<std::uint64_t>(index) + 1};
+}
+
 }  // namespace
 
 /// Performs the actual construction; split from Internet to keep the data
@@ -131,6 +157,11 @@ class InternetBuilder {
     s.netalyzr = std::make_unique<netalyzr::NetalyzrServer>(s.netalyzr_host,
                                                             prefix.at(10));
     s.netalyzr->install(I_.net);
+    // The Big-NAT battery's literal-v4 probe target: a second address the
+    // client never resolves through DNS. Installed only in v6 worlds so a
+    // default build's address registrations stay identical.
+    if (cfg.v6.enabled)
+      s.netalyzr->install_literal_address(I_.net, prefix.at(11));
 
     s.stun_host = I_.net.add_node(rack, "stun-server");
     s.stun = std::make_unique<stun::StunServer>(I_.net, s.stun_host,
@@ -233,6 +264,16 @@ class InternetBuilder {
     std::vector<netcore::Ipv4Address> internal_bases;
     if (plan.cgn) {
       isp.cgn_profile = sample_cgn_profile(rng_, plan.info.cellular);
+      // v6-enabled worlds overlay the transition deployment onto the CGN
+      // profile from an independent per-AS substream; the same substream
+      // later drives the per-line CLAT draws.
+      if (cfg.v6.enabled) {
+        v6rng_ = sim::Rng::fork(cfg.seed ^ kV6BuilderSalt, plan.info.asn);
+        apply_transition_profile(*isp.cgn_profile, v6rng_,
+                                 plan.info.cellular, plan.info.asn, cfg.v6);
+        isp.transition = isp.cgn_profile->transition;
+      }
+      I_.truth_transition_[plan.info.asn] = isp.transition;
       const CgnProfile& prof = *isp.cgn_profile;
 
       isp.cgn_node = I_.net.add_node(agg_bottom, plan.info.name + "-cgn");
@@ -251,10 +292,35 @@ class InternetBuilder {
       nat_cfg.hairpinning = prof.hairpinning;
       nat_cfg.hairpin_preserve_source = prof.hairpin_preserve_source;
       nat_cfg.port_min = 1024;
-      auto nat = std::make_unique<nat::NatDevice>(nat_cfg, pool, rng_.fork());
-      isp.cgn = nat.get();
-      I_.nats_.push_back(std::move(nat));
-      I_.net.set_middlebox(isp.cgn_node, isp.cgn);
+      // NAT64 / DS-Lite edges wrap the same NatDevice core the NAT444 path
+      // instantiates (isp.cgn always points at the core, so GC, fault
+      // wiring and figure extractors are mechanism-agnostic).
+      sim::Middlebox* edge = nullptr;
+      if (isp.transition == nat::TranslatorMode::nat64) {
+        auto t = std::make_unique<v6::Nat64Device>(nat_cfg, pool, rng_.fork(),
+                                                   prof.pref64);
+        isp.nat64 = t.get();
+        isp.cgn = &t->core();
+        edge = t.get();
+        I_.nat64s_.push_back(std::move(t));
+        auto dns = std::make_unique<v6::Dns64Resolver>(prof.pref64);
+        isp.dns64 = dns.get();
+        I_.dns64s_.push_back(std::move(dns));
+      } else if (isp.transition == nat::TranslatorMode::dslite_aftr) {
+        auto t = std::make_unique<v6::DsLiteAftr>(
+            nat_cfg, pool, rng_.fork(), aftr_address_for(plan.info.asn));
+        isp.aftr = t.get();
+        isp.cgn = &t->core();
+        edge = t.get();
+        I_.aftrs_.push_back(std::move(t));
+      } else {
+        auto nat = std::make_unique<nat::NatDevice>(nat_cfg, pool,
+                                                    rng_.fork());
+        isp.cgn = nat.get();
+        edge = nat.get();
+        I_.nats_.push_back(std::move(nat));
+      }
+      I_.net.set_middlebox(isp.cgn_node, edge);
       for (const auto& a : pool)
         I_.net.register_address(a, isp.cgn_node, I_.net.root());
 
@@ -348,7 +414,7 @@ class InternetBuilder {
     I_.isps.push_back(std::move(isp));
   }
 
-  Subscriber make_subscriber(const AsPlan& plan, const IspInstance& isp,
+  Subscriber make_subscriber(const AsPlan& plan, IspInstance& isp,
                              bool behind_cgn, int home_id,
                              netcore::PrefixCarver& pool_carver,
                              const std::vector<netcore::Ipv4Address>&
@@ -377,6 +443,13 @@ class InternetBuilder {
     } else {
       line_addr = next_public_address(pool_carver);
     }
+
+    // A line behind a NAT64 / DS-Lite edge swaps the CPE/direct attachment
+    // for a per-line v6 element (host stack, CLAT or B4); its CGN-internal
+    // line address doubles as the line's underlay v4 handle.
+    if (behind_cgn && isp.transition != nat::TranslatorMode::nat44)
+      return make_v6_line(plan, isp, std::move(sub), line_addr,
+                          cpe_chain_bottom, index);
 
     const bool no_cpe =
         plan.info.cellular ||
@@ -419,6 +492,70 @@ class InternetBuilder {
       sub.cpe_node = cpe_node;
       cpe_nodes_[sub.cpe] = cpe_node;
     }
+
+    auto demux = std::make_unique<sim::PortDemux>();
+    sub.demux = demux.get();
+    demux->attach(I_.net, sub.device);
+    I_.demuxes_.push_back(std::move(demux));
+    return sub;
+  }
+
+  /// Builds one IPv6-transition subscriber line (DESIGN.md §14). The
+  /// element node sits where the CPE would (hop 1 from the device), so the
+  /// translator stays at the profile's hop_distance; the underlay handle
+  /// routes descending packets from the translator to the element, which
+  /// restores the device's local v4 before final delivery.
+  Subscriber make_v6_line(const AsPlan& plan, IspInstance& isp,
+                          Subscriber sub, netcore::Ipv4Address underlay,
+                          sim::NodeId chain_bottom, int index) {
+    const std::uint64_t asn = plan.info.asn;
+    sub.v6_mode = isp.transition;
+    sim::NodeId elem_node;
+    if (isp.transition == nat::TranslatorMode::nat64) {
+      sub.device_v6 = line_v6_address(2, asn, index);
+      sub.has_clat = v6rng_.chance(isp.cgn_profile->clat_fraction);
+      if (sub.has_clat) {
+        // 464XLAT: v4 apps see the RFC 7335 CLAT-side address.
+        elem_node = I_.net.add_node(
+            chain_bottom, plan.info.name + "-clat" +
+                              std::to_string(sub.home_id));
+        sub.device_address = kClatDeviceV4;
+        auto clat = std::make_unique<v6::ClatElement>(
+            sub.device_v6, isp.cgn_profile->pref64, underlay, kClatDeviceV4);
+        I_.net.set_middlebox(elem_node, clat.get());
+        I_.clats_.push_back(std::move(clat));
+      } else {
+        // Bare v6-only line: ip_dev is a per-line IPv4LL placeholder and
+        // unresolved v4 literals die in the host stack.
+        elem_node = I_.net.add_node(
+            chain_bottom, plan.info.name + "-v6stk" +
+                              std::to_string(sub.home_id));
+        sub.device_address = netcore::Ipv4Address(
+            0xA9FE0000u + static_cast<std::uint32_t>(index) + 257);
+        auto stack = std::make_unique<v6::HostV6Stack>(
+            sub.device_v6, underlay, sub.device_address);
+        sub.v6stack = stack.get();
+        I_.net.set_middlebox(elem_node, stack.get());
+        I_.v6stacks_.push_back(std::move(stack));
+      }
+      isp.nat64->add_host(sub.device_v6, underlay);
+    } else {  // DS-Lite softwire
+      sub.device_v6 = line_v6_address(1, asn, index);
+      elem_node = I_.net.add_node(
+          chain_bottom, plan.info.name + "-b4" + std::to_string(sub.home_id));
+      sub.device_address = kB4DeviceV4;
+      auto b4 = std::make_unique<v6::B4Element>(
+          sub.device_v6, isp.aftr->aftr_address(), underlay);
+      I_.net.set_middlebox(elem_node, b4.get());
+      I_.b4s_.push_back(std::move(b4));
+      isp.aftr->add_softwire(sub.device_v6, underlay);
+    }
+    I_.net.register_address(underlay, elem_node, isp.cgn_node);
+
+    sub.device = I_.net.add_node(elem_node, plan.info.name + "-dev" +
+                                                std::to_string(sub.home_id));
+    I_.net.add_local_address(sub.device, sub.device_address);
+    I_.net.register_address(sub.device_address, sub.device, elem_node);
 
     auto demux = std::make_unique<sim::PortDemux>();
     sub.demux = demux.get();
@@ -486,6 +623,9 @@ class InternetBuilder {
 
   Internet& I_;
   sim::Rng rng_;
+  /// Per-AS v6 substream; re-seeded at each CGN AS in v6-enabled worlds
+  /// (apply_transition_profile draws first, then the per-line CLAT draws).
+  sim::Rng v6rng_{0};
   netcore::PrefixCarver carver_{netcore::Ipv4Prefix::parse("16.0.0.0/4")};
   std::vector<AsPlan> plans_;
   std::vector<netcore::Ipv4Address> public_cache_;

@@ -30,6 +30,8 @@
 #include "sim/network.hpp"
 #include "sim/rng.hpp"
 #include "stun/stun.hpp"
+#include "v6/dns64.hpp"
+#include "v6/translator.hpp"
 
 namespace cgn::scenario {
 
@@ -81,6 +83,12 @@ struct InternetConfig {
   int server_side_hops = 3;
   int agg_hops_lo = 1, agg_hops_hi = 3;
 
+  // --- IPv6 transition -----------------------------------------------------
+  /// NAT64/DNS64, DS-Lite and 464XLAT deployment (DESIGN.md §14). Disabled
+  /// by default: the builder then draws no v6 randomness and the world is
+  /// byte-identical to a pre-v6 build.
+  V6ScenarioConfig v6;
+
   // --- Fault injection -----------------------------------------------------
   /// Impairment scenario (loss, duplication, deaf peers, CGN restarts,
   /// port-pool pressure). Inactive by default: the injector is then never
@@ -100,6 +108,13 @@ struct Subscriber {
   bool behind_cgn = false;
   sim::PortDemux* demux = nullptr;
   dht::DhtNode* bt_client = nullptr;  ///< null when not a BitTorrent host
+
+  // --- IPv6 transition (populated only on v6 lines; DESIGN.md §14) --------
+  /// The line's mechanism; nat44 == plain v4 line (possibly NAT444).
+  nat::TranslatorMode v6_mode = nat::TranslatorMode::nat44;
+  bool has_clat = false;               ///< NAT64 line with a CLAT => 464XLAT
+  netcore::Ipv6Address device_v6;      ///< unspecified on v4-only lines
+  v6::HostV6Stack* v6stack = nullptr;  ///< non-null on bare v6-only lines
 };
 
 /// An instrumented ISP (one per covered AS).
@@ -115,6 +130,15 @@ struct IspInstance {
   /// Spare public addresses for renumbering events (scenario/churn.hpp).
   netcore::Ipv4Prefix spare_block;
   std::uint32_t spare_used = 0;
+
+  // --- IPv6 transition (DESIGN.md §14) ------------------------------------
+  /// The deployment's mechanism (ground truth; nat44 == plain NAT444).
+  /// When != nat44, `cgn` points at the translator's embedded NAT44 core —
+  /// timeouts, port allocation and fault hooks live there unchanged.
+  nat::TranslatorMode transition = nat::TranslatorMode::nat44;
+  v6::Nat64Device* nat64 = nullptr;    ///< when transition == nat64
+  v6::DsLiteAftr* aftr = nullptr;      ///< when transition == dslite_aftr
+  v6::Dns64Resolver* dns64 = nullptr;  ///< carrier DNS64 (NAT64 ASes only)
 };
 
 /// The measurement infrastructure at the network core.
@@ -164,6 +188,14 @@ class Internet {
     return n;
   }
 
+  /// Ground truth: the AS's transition mechanism. nat44 for every AS of a
+  /// v4-only world (and for v6-world ASes that stayed NAT444).
+  [[nodiscard]] nat::TranslatorMode truth_transition(netcore::Asn asn) const {
+    auto it = truth_transition_.find(asn);
+    return it == truth_transition_.end() ? nat::TranslatorMode::nat44
+                                         : it->second;
+  }
+
   /// All BitTorrent peers across all ISPs.
   [[nodiscard]] const std::vector<dht::DhtNode*>& bt_peers() const noexcept {
     return bt_peer_ptrs_;
@@ -177,12 +209,20 @@ class Internet {
 
   sim::Rng rng_;
   std::unordered_map<netcore::Asn, bool> truth_cgn_;
+  std::unordered_map<netcore::Asn, nat::TranslatorMode> truth_transition_;
   std::vector<dht::DhtNode*> bt_peer_ptrs_;
 
   // Ownership of everything wired into the network by raw pointer.
   std::vector<std::unique_ptr<nat::NatDevice>> nats_;
   std::vector<std::unique_ptr<dht::DhtNode>> dht_nodes_;
   std::vector<std::unique_ptr<sim::PortDemux>> demuxes_;
+  // v6-transition elements (all empty in a v4-only world).
+  std::vector<std::unique_ptr<v6::Nat64Device>> nat64s_;
+  std::vector<std::unique_ptr<v6::DsLiteAftr>> aftrs_;
+  std::vector<std::unique_ptr<v6::Dns64Resolver>> dns64s_;
+  std::vector<std::unique_ptr<v6::HostV6Stack>> v6stacks_;
+  std::vector<std::unique_ptr<v6::ClatElement>> clats_;
+  std::vector<std::unique_ptr<v6::B4Element>> b4s_;
 };
 
 /// Builds a full Internet from a config (the constructor delegates here).

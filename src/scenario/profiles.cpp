@@ -177,4 +177,62 @@ CgnProfile sample_cgn_profile(sim::Rng& rng, bool cellular) {
   return p;
 }
 
+void apply_transition_profile(CgnProfile& p, sim::Rng& v6rng, bool cellular,
+                              std::uint32_t asn,
+                              const V6ScenarioConfig& cfg) {
+  // Mechanism.
+  const double r = v6rng.uniform01();
+  const double nat64_cut =
+      cellular ? cfg.cellular_nat64_fraction : cfg.fixed_nat64_fraction;
+  const double dslite_cut =
+      nat64_cut +
+      (cellular ? cfg.cellular_dslite_fraction : cfg.fixed_dslite_fraction);
+  if (r < nat64_cut) {
+    p.transition = nat::TranslatorMode::nat64;
+  } else if (r < dslite_cut) {
+    p.transition = nat::TranslatorMode::dslite_aftr;
+  } else {
+    p.transition = nat::TranslatorMode::nat44;
+    return;
+  }
+
+  if (p.transition == nat::TranslatorMode::nat64) {
+    if (v6rng.chance(cfg.well_known_pref64_fraction)) {
+      p.pref64 = netcore::well_known_pref64();
+    } else {
+      // Network-specific prefix 2001:<asn>::/len; NSP deployments skew
+      // toward the long end of the RFC 6052 lengths (/96 dominant).
+      static const std::vector<double> w{0.06, 0.06, 0.10, 0.12, 0.22, 0.44};
+      const int len = netcore::kPref64Lengths[v6rng.weighted(w)];
+      const std::uint64_t hi =
+          (0x2001ull << 48) | (static_cast<std::uint64_t>(asn) << 32);
+      p.pref64 = netcore::Ipv6Prefix(netcore::Ipv6Address(hi, 0), len);
+    }
+    p.clat_fraction =
+        cellular ? cfg.cellular_clat_fraction : cfg.fixed_clat_fraction;
+  }
+
+  // Mobile transition carriers: shorter mapping lifetimes and a heavier
+  // random/chunked allocation mix than the general cellular draw.
+  if (cellular) {
+    {
+      static const std::vector<double> w{0.10, 0.22, 0.30, 0.18, 0.12, 0.08};
+      static const double timeouts[] = {10, 20, 30, 40, 50, 65};
+      p.udp_timeout_s = timeouts[v6rng.weighted(w)];
+    }
+    {
+      static const std::vector<double> w{0.16, 0.22, 0.44, 0.18};
+      static const PortAllocation a[] = {
+          PortAllocation::preservation, PortAllocation::sequential,
+          PortAllocation::random, PortAllocation::chunk_random};
+      p.allocation = a[v6rng.weighted(w)];
+      if (p.allocation == PortAllocation::chunk_random) {
+        static const std::vector<double> cw{0.30, 0.40, 0.30};
+        static const std::uint32_t sizes[] = {1024, 2048, 4096};
+        p.chunk_size = sizes[v6rng.weighted(cw)];
+      }
+    }
+  }
+}
+
 }  // namespace cgn::scenario

@@ -10,9 +10,31 @@
 
 #include "nat/nat_types.hpp"
 #include "netcore/ipv4.hpp"
+#include "netcore/ipv6.hpp"
 #include "sim/rng.hpp"
 
 namespace cgn::scenario {
+
+/// IPv6-transition scenario knobs (DESIGN.md §14). Disabled by default: a
+/// v4-only world draws no v6 randomness and builds byte-identical to a
+/// pre-v6 binary.
+struct V6ScenarioConfig {
+  bool enabled = false;
+  /// Transition-mechanism mix among CGN ASes. Cellular carriers lean
+  /// NAT64/464XLAT (the mobile pattern); fixed-line ISPs that migrate
+  /// mostly pick DS-Lite. The remainder stays NAT444.
+  double cellular_nat64_fraction = 0.55;
+  double cellular_dslite_fraction = 0.08;
+  double fixed_nat64_fraction = 0.10;
+  double fixed_dslite_fraction = 0.28;
+  /// Among a NAT64 carrier's lines, the share provisioned with a CLAT
+  /// (making the line 464XLAT); the rest run a bare v6-only stack.
+  double cellular_clat_fraction = 0.85;
+  double fixed_clat_fraction = 0.45;
+  /// Probability a NAT64 AS announces the Well-Known Prefix 64:ff9b::/96;
+  /// otherwise a network-specific prefix with a varied RFC 6052 length.
+  double well_known_pref64_fraction = 0.50;
+};
 
 /// One CPE hardware model (Figure 8(b) keys sessions by UPnP model string).
 struct CpeModel {
@@ -63,9 +85,29 @@ struct CgnProfile {
 
   /// External pool size (public IPv4 addresses of the CGN).
   int pool_size = 16;
+
+  // --- IPv6 transition (DESIGN.md §14) ------------------------------------
+  /// Translation mechanism at the carrier edge. nat44 == plain NAT444; set
+  /// by apply_transition_profile, only in v6-enabled worlds.
+  nat::TranslatorMode transition = nat::TranslatorMode::nat44;
+  /// NAT64 deployments: share of lines provisioned with a CLAT (464XLAT).
+  double clat_fraction = 0.0;
+  /// NAT64 deployments: the carrier's NAT64/DNS64 translation prefix.
+  netcore::Ipv6Prefix pref64;
 };
 
 /// Samples a CGN profile for a cellular or non-cellular ISP.
 [[nodiscard]] CgnProfile sample_cgn_profile(sim::Rng& rng, bool cellular);
+
+/// Draws the IPv6-transition deployment for one CGN AS from `v6rng` — an
+/// independent substream keyed on (world seed, asn), so enabling v6 never
+/// perturbs the main builder RNG. Picks the mechanism and (for NAT64) the
+/// pref64 — unique per AS unless the Well-Known Prefix is drawn — and the
+/// CLAT share; cellular transition carriers additionally re-draw the
+/// MNO-flavoured mapping-lifetime and port-allocation marginals (the
+/// paper's Table 6/7 mobile columns: tighter timeouts, more random and
+/// chunked allocation than the fixed fleet).
+void apply_transition_profile(CgnProfile& p, sim::Rng& v6rng, bool cellular,
+                              std::uint32_t asn, const V6ScenarioConfig& cfg);
 
 }  // namespace cgn::scenario

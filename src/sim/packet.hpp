@@ -11,11 +11,26 @@
 #include <cstdint>
 
 #include "netcore/ipv4.hpp"
+#include "netcore/ipv6.hpp"
 
 namespace cgn::sim {
 
 /// Minimal TCP signalling the NAT engine needs for state tracking.
 enum class TcpFlag : std::uint8_t { none, syn, fin, rst };
+
+/// Optional IPv6 overlay header (DESIGN.md §14). Routing stays on the v4
+/// header — translators and softwire elements read/write this overlay while
+/// mapping it onto per-line v4 underlay handles, so the v4-only hot path
+/// never branches on it. `inner` is the DS-Lite decap scratch: on the
+/// descending half of a softwire it carries the inner IPv4 destination the
+/// B4 restores after stripping the v6 header. Plain POD — copying a Packet
+/// with an engaged overlay still performs zero heap allocation.
+struct V6Overlay {
+  netcore::Ipv6Address src;
+  netcore::Ipv6Address dst;
+  netcore::Ipv4Address inner;
+  bool present = false;
+};
 
 struct Packet {
   netcore::Protocol proto = netcore::Protocol::udp;
@@ -23,6 +38,7 @@ struct Packet {
   netcore::Endpoint dst;
   int ttl = 64;
   TcpFlag tcp_flag = TcpFlag::none;
+  V6Overlay v6;      ///< engaged (present=true) only on v6-transition paths
   std::any payload;  ///< application message; receivers std::any_cast it
 
   [[nodiscard]] static Packet udp(netcore::Endpoint src, netcore::Endpoint dst,

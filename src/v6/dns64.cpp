@@ -1,0 +1,24 @@
+#include "v6/dns64.hpp"
+
+namespace cgn::v6 {
+
+std::optional<netcore::Ipv6Prefix> discover_pref64(const Dns64Resolver& dns) {
+  const Dns64Resolver::Answer a = dns.resolve_aaaa(kIpv4OnlyAnchorA);
+  const Dns64Resolver::Answer b = dns.resolve_aaaa(kIpv4OnlyAnchorB);
+  if (!a.synthesized || !b.synthesized) return std::nullopt;
+  // Longest-first scan: a shorter length can alias a longer one when the
+  // suffix bytes happen to look like a prefix, never the other way round.
+  for (int i = netcore::kPref64LengthCount - 1; i >= 0; --i) {
+    const int len = netcore::kPref64Lengths[i];
+    const netcore::Ipv6Prefix pa(a.aaaa, len);
+    const netcore::Ipv6Prefix pb(b.aaaa, len);
+    if (pa != pb) continue;
+    auto xa = netcore::pref64_extract(pa, a.aaaa);
+    auto xb = netcore::pref64_extract(pb, b.aaaa);
+    if (xa && *xa == kIpv4OnlyAnchorA && xb && *xb == kIpv4OnlyAnchorB)
+      return pa;
+  }
+  return std::nullopt;
+}
+
+}  // namespace cgn::v6

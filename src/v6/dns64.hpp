@@ -1,0 +1,74 @@
+// DNS64 AAAA synthesis (RFC 6147) and client-side pref64 discovery
+// (RFC 7050-style probing of an IPv4-only anchor name).
+//
+// The simulator models DNS names by their A-record address: resolving a
+// "name" means asking for the AAAA record of the host whose v4 address is
+// `name`. Hosts registered with a native AAAA are returned verbatim —
+// synthesis only kicks in for v4-only hosts, exactly the RFC 6147 rule the
+// satellite test pins down.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "flat/flat.hpp"
+#include "netcore/ipv4.hpp"
+#include "netcore/ipv6.hpp"
+
+namespace cgn::v6 {
+
+/// The RFC 7050 IPv4-only anchors (ipv4only.arpa A records): names that by
+/// contract never have a native AAAA, so any AAAA answer for them proves a
+/// DNS64 is on-path and exposes its pref64.
+inline constexpr netcore::Ipv4Address kIpv4OnlyAnchorA{192, 0, 0, 170};
+inline constexpr netcore::Ipv4Address kIpv4OnlyAnchorB{192, 0, 0, 171};
+
+class Dns64Resolver {
+ public:
+  explicit Dns64Resolver(netcore::Ipv6Prefix pref64) : pref64_(pref64) {}
+
+  /// Registers a dual-stack host: DNS64 must NOT synthesize for it.
+  void add_native_aaaa(netcore::Ipv4Address name, netcore::Ipv6Address aaaa) {
+    native_.insert_or_assign(name, aaaa);
+  }
+
+  struct Answer {
+    netcore::Ipv6Address aaaa;
+    bool synthesized = false;  ///< false: native AAAA returned verbatim
+  };
+
+  /// AAAA resolution with RFC 6147 semantics. Never fails in this model:
+  /// a v4-only host always yields a synthesized answer.
+  [[nodiscard]] Answer resolve_aaaa(netcore::Ipv4Address name) const {
+    ++queries_;
+    if (auto it = native_.find(name); it != native_.end()) {
+      return {it->second, false};
+    }
+    ++synthesized_;
+    return {netcore::pref64_embed(pref64_, name), true};
+  }
+
+  [[nodiscard]] const netcore::Ipv6Prefix& pref64() const noexcept {
+    return pref64_;
+  }
+  [[nodiscard]] std::uint64_t queries() const noexcept { return queries_; }
+  [[nodiscard]] std::uint64_t synthesized() const noexcept {
+    return synthesized_;
+  }
+
+ private:
+  netcore::Ipv6Prefix pref64_;
+  flat::FlatMap<netcore::Ipv4Address, netcore::Ipv6Address> native_;
+  mutable std::uint64_t queries_ = 0;
+  mutable std::uint64_t synthesized_ = 0;
+};
+
+/// Client-side pref64 discovery: resolves both IPv4-only anchors through
+/// `dns` and scans the six RFC 6052 prefix lengths (longest first) for the
+/// one under which both answers extract back to their anchor. Returns
+/// nullopt when the resolver answered natively (no DNS64 on path) or no
+/// length is consistent.
+[[nodiscard]] std::optional<netcore::Ipv6Prefix> discover_pref64(
+    const Dns64Resolver& dns);
+
+}  // namespace cgn::v6

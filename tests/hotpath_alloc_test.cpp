@@ -10,6 +10,7 @@
 #include <new>
 #include <vector>
 
+#include "netcore/ipv6.hpp"
 #include "sim/network.hpp"
 #include "test_topology.hpp"
 
@@ -80,6 +81,41 @@ TEST(HotPathAlloc, WarmedNat444EchoRoundTripIsAllocationFree) {
   EXPECT_EQ(echoed, 64u + kRounds);
   EXPECT_EQ(g_allocs.load(), 0u)
       << "warmed-up echo round trips must not touch the heap";
+}
+
+TEST(HotPathAlloc, WarmedNat64EchoRoundTripIsAllocationFree) {
+  // Same contract for the v6 translation path: CLAT -> NAT64 -> server and
+  // back rides the v4 engine plus a POD overlay, so a warmed 464XLAT echo
+  // leg must be as heap-silent as NAT444.
+  test::MiniNet world;
+  world.ensure_nat64(netcore::well_known_pref64());
+  auto line = world.add_nat64_line(/*with_clat=*/true);
+
+  Endpoint device_ep{line.device_address, 4000};
+  Endpoint server_ep{world.server_address, 5000};
+  std::uint64_t echoed = 0;
+  world.net.set_receiver(world.server_host,
+                         [&](Network& net, const Packet& p) {
+                           net.send(Packet::udp(server_ep, p.src),
+                                    world.server_host);
+                         });
+  line.demux->bind(device_ep.port,
+                   [&](Network&, const Packet&) { ++echoed; });
+
+  for (int i = 0; i < 64; ++i)
+    world.net.send(Packet::udp(device_ep, server_ep), line.device);
+  ASSERT_EQ(echoed, 64u);
+
+  constexpr int kRounds = 256;
+  g_allocs.store(0);
+  g_counting.store(true);
+  for (int i = 0; i < kRounds; ++i)
+    world.net.send(Packet::udp(device_ep, server_ep), line.device);
+  g_counting.store(false);
+
+  EXPECT_EQ(echoed, 64u + kRounds);
+  EXPECT_EQ(g_allocs.load(), 0u)
+      << "warmed-up NAT64 echo round trips must not touch the heap";
 }
 
 }  // namespace

@@ -8,10 +8,12 @@
 
 #include "nat/nat_device.hpp"
 #include "netcore/ipv4.hpp"
+#include "netcore/ipv6.hpp"
 #include "sim/clock.hpp"
 #include "sim/demux.hpp"
 #include "sim/network.hpp"
 #include "sim/rng.hpp"
+#include "v6/translator.hpp"
 
 namespace cgn::test {
 
@@ -106,12 +108,137 @@ class MiniNet {
     return line;
   }
 
+  // --- IPv6-transition lines (DESIGN.md §14) -------------------------------
+
+  struct V6Line {
+    sim::NodeId device = sim::kNoNode;
+    Ipv4Address device_address;        ///< what v4 apps on the device see
+    netcore::Ipv6Address device_v6;    ///< the line's true v6 address
+    Ipv4Address underlay;              ///< CGN-internal routing handle
+    sim::PortDemux* demux = nullptr;
+    v6::HostV6Stack* stack = nullptr;  ///< bare v6-only NAT64 lines only
+  };
+
+  /// Creates (once) the shared NAT64 edge for subsequent add_nat64_line().
+  v6::Nat64Device& ensure_nat64(netcore::Ipv6Prefix pref64,
+                                nat::NatConfig cfg = {}) {
+    if (!nat64) {
+      nat64_node = net.add_node(net.add_router_chain(net.root(), 1, "agg6"),
+                                "nat64");
+      std::vector<Ipv4Address> pool;
+      for (int i = 0; i < 4; ++i)
+        pool.push_back(Ipv4Address(Ipv4Address{16, 64, 0, 10}.value() +
+                                   static_cast<std::uint32_t>(i)));
+      auto t = std::make_unique<v6::Nat64Device>(cfg, pool, sim::Rng(9),
+                                                 pref64);
+      nat64 = t.get();
+      v6_elements.push_back(std::move(t));
+      net.set_middlebox(nat64_node, nat64);
+      for (const auto& a : pool) net.register_address(a, nat64_node, net.root());
+    }
+    return *nat64;
+  }
+
+  /// Creates (once) the shared DS-Lite AFTR for subsequent add_dslite_line().
+  v6::DsLiteAftr& ensure_aftr(nat::NatConfig cfg = {}) {
+    if (!aftr) {
+      aftr_node = net.add_node(net.add_router_chain(net.root(), 1, "aggds"),
+                               "aftr");
+      std::vector<Ipv4Address> pool;
+      for (int i = 0; i < 4; ++i)
+        pool.push_back(Ipv4Address(Ipv4Address{16, 65, 0, 10}.value() +
+                                   static_cast<std::uint32_t>(i)));
+      auto t = std::make_unique<v6::DsLiteAftr>(
+          cfg, pool, sim::Rng(10),
+          netcore::Ipv6Address::parse("2001:db8::af1"));
+      aftr = t.get();
+      v6_elements.push_back(std::move(t));
+      net.set_middlebox(aftr_node, aftr);
+      for (const auto& a : pool) net.register_address(a, aftr_node, net.root());
+    }
+    return *aftr;
+  }
+
+  /// One NAT64 subscriber line: with a CLAT (464XLAT, v4 apps work) or a
+  /// bare v6-only host stack (v4 literals die). Call ensure_nat64() first.
+  V6Line add_nat64_line(bool with_clat) {
+    ++line_count_;
+    V6Line line;
+    line.underlay = Ipv4Address(Ipv4Address{10, 64, 0, 2}.value() +
+                                static_cast<std::uint32_t>(line_count_) * 256);
+    line.device_v6 = netcore::Ipv6Address(
+        0x20010db800020000ULL, static_cast<std::uint64_t>(line_count_));
+    sim::NodeId elem;
+    if (with_clat) {
+      line.device_address = Ipv4Address{192, 0, 0, 1};  // RFC 7335
+      elem = net.add_node(nat64_node, "clat");
+      auto clat = std::make_unique<v6::ClatElement>(
+          line.device_v6, nat64->pref64(), line.underlay,
+          line.device_address);
+      net.set_middlebox(elem, clat.get());
+      v6_elements.push_back(std::move(clat));
+    } else {
+      line.device_address =
+          Ipv4Address(Ipv4Address{169, 254, 0, 1}.value() +
+                      static_cast<std::uint32_t>(line_count_));
+      elem = net.add_node(nat64_node, "v6stk");
+      auto stack = std::make_unique<v6::HostV6Stack>(
+          line.device_v6, line.underlay, line.device_address);
+      line.stack = stack.get();
+      net.set_middlebox(elem, stack.get());
+      v6_elements.push_back(std::move(stack));
+    }
+    nat64->add_host(line.device_v6, line.underlay);
+    net.register_address(line.underlay, elem, nat64_node);
+    line.device = net.add_node(elem, "dev6");
+    net.add_local_address(line.device, line.device_address);
+    net.register_address(line.device_address, line.device, elem);
+    auto demux = std::make_unique<sim::PortDemux>();
+    line.demux = demux.get();
+    demux->attach(net, line.device);
+    demuxes.push_back(std::move(demux));
+    return line;
+  }
+
+  /// One DS-Lite line: B4 softwire endpoint in front of the device. The
+  /// inner v4 may overlap across lines (that's the point). Call
+  /// ensure_aftr() first.
+  V6Line add_dslite_line(Ipv4Address inner_v4) {
+    ++line_count_;
+    V6Line line;
+    line.underlay = Ipv4Address(Ipv4Address{10, 65, 0, 2}.value() +
+                                static_cast<std::uint32_t>(line_count_) * 256);
+    line.device_v6 = netcore::Ipv6Address(
+        0x20010db800010000ULL, static_cast<std::uint64_t>(line_count_));
+    line.device_address = inner_v4;
+    sim::NodeId elem = net.add_node(aftr_node, "b4");
+    auto b4 = std::make_unique<v6::B4Element>(
+        line.device_v6, aftr->aftr_address(), line.underlay);
+    net.set_middlebox(elem, b4.get());
+    v6_elements.push_back(std::move(b4));
+    aftr->add_softwire(line.device_v6, line.underlay);
+    net.register_address(line.underlay, elem, aftr_node);
+    line.device = net.add_node(elem, "dev4in6");
+    net.add_local_address(line.device, line.device_address);
+    net.register_address(line.device_address, line.device, elem);
+    auto demux = std::make_unique<sim::PortDemux>();
+    line.demux = demux.get();
+    demux->attach(net, line.device);
+    demuxes.push_back(std::move(demux));
+    return line;
+  }
+
   sim::Clock clock;
   sim::Network net;
   sim::NodeId server_host = sim::kNoNode;
   Ipv4Address server_address;
   std::vector<std::unique_ptr<nat::NatDevice>> nats;
   std::vector<std::unique_ptr<sim::PortDemux>> demuxes;
+  v6::Nat64Device* nat64 = nullptr;
+  v6::DsLiteAftr* aftr = nullptr;
+  sim::NodeId nat64_node = sim::kNoNode;
+  sim::NodeId aftr_node = sim::kNoNode;
+  std::vector<std::unique_ptr<sim::Middlebox>> v6_elements;
 
  private:
   int line_count_ = 0;
