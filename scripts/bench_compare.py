@@ -21,6 +21,16 @@ p50 <= p90 <= p99), when absent the file still validates. Figures from
 the transition family (bench_fig14_transition) get one extra check:
 every detect_acc_* entry must be a fraction in [0, 1].
 
+Scale-sweep files (bench == "scale_sweep", from bench_scale_sweep) take a
+different comparison path: for every scale tag present on both sides the
+peak RSS (scale_<tag>_rss_kib) and hot-path latency
+(scale_<tag>_ns_per_packet) are gated (warn >10%, fail >30% growth vs
+bench/baselines/scale_sweep.json); build/materialize walls only warn. The
+schema check additionally requires every rss figure to be a positive
+number paired with a ns_per_packet figure for the same tag. A smoke run
+that only sweeps the small scales still gates — tags missing from the
+fresh file are skipped, not failed.
+
 Bad input (missing file, malformed JSON, a baseline that is not a bench
 JSON) exits 2 with a one-line diagnosis, never a traceback; a genuine
 perf regression exits 1.
@@ -80,6 +90,16 @@ def load(path):
                        f"column {e.colno}: {e.msg}")
 
 
+def scale_tags(figures):
+    """Scale tags ("0_4", "1", ...) recorded in a figures dict, in figure
+    order — each tag names one bench_scale_sweep child sample."""
+    tags = []
+    for name in figures:
+        if name.startswith("scale_") and name.endswith("_rss_kib"):
+            tags.append(name[len("scale_"):-len("_rss_kib")])
+    return tags
+
+
 # Required top-level shape of every BENCH_<name>.json. The "super" block is
 # deliberately absent: it was introduced after the first baselines were
 # recorded, and older files must keep validating.
@@ -116,6 +136,22 @@ def check_schema(doc, path):
         if name.startswith("detect_acc_") and not 0.0 <= value <= 1.0:
             raise BadInput(f"{path}: figure \"{name}\" = {value} is outside "
                            "[0, 1] — detection accuracies are fractions")
+    # Scale-sweep figures come in per-scale groups: a peak-RSS sample that
+    # is zero or negative means the /proc/self/status read failed, and an
+    # rss figure without its ns_per_packet sibling means the child's JSON
+    # line was truncated. Both are recording bugs, not regressions.
+    for tag in scale_tags(doc["figures"]):
+        rss = doc["figures"][f"scale_{tag}_rss_kib"]
+        if rss <= 0:
+            raise BadInput(f"{path}: figure \"scale_{tag}_rss_kib\" = {rss} "
+                           "— peak RSS must be a positive KiB count")
+        ns_key = f"scale_{tag}_ns_per_packet"
+        if ns_key not in doc["figures"]:
+            raise BadInput(f"{path}: figure \"scale_{tag}_rss_kib\" has no "
+                           f"\"{ns_key}\" sibling — truncated sweep sample")
+        if doc["figures"][ns_key] < 0:
+            raise BadInput(f"{path}: figure \"{ns_key}\" = "
+                           f"{doc['figures'][ns_key]} is negative")
     obs = doc["obs"]
     for key in ("metrics", "phases"):
         if key not in obs:
@@ -209,6 +245,57 @@ def check_speedup(baseline, figures):
     return False, False
 
 
+def compare_scale(baseline, figures):
+    """Gate a scale-sweep run: per-scale peak RSS and hot-path latency
+    against the committed baseline (warn >WARN_PCT, fail >FAIL_PCT growth);
+    build/materialize walls warn only (shared-runner noise). Returns the
+    process exit code."""
+    failed = False
+    warned = False
+    base_figs = baseline.get("figures", {})
+
+    def compare(label, base, fresh, *, gates):
+        nonlocal failed, warned
+        if fresh is None:
+            print(f"skip {label}: not swept in this run")
+            return
+        if base is None:
+            print(f"ok   {label}: fresh {fresh:.6g} (new scale, no baseline "
+                  "— not gated)")
+            return
+        delta = 100.0 * (fresh - base) / base if base else 0.0
+        line = f"{label}: baseline {base:.6g}, fresh {fresh:.6g} ({delta:+.1f}%)"
+        if delta > FAIL_PCT and gates:
+            print(f"FAIL {line} > {FAIL_PCT:.0f}%")
+            failed = True
+        elif delta > WARN_PCT:
+            print(f"WARN {line} > {WARN_PCT:.0f}%")
+            warned = True
+        else:
+            print(f"ok   {line}")
+
+    tags = scale_tags(base_figs)
+    for tag in scale_tags(figures):
+        if tag not in tags:
+            tags.append(tag)
+    for tag in tags:
+        for metric, gates in (("rss_kib", True), ("ns_per_packet", True),
+                              ("build_s", False), ("materialize_s", False)):
+            key = f"scale_{tag}_{metric}"
+            compare(f"figures.{key}", base_figs.get(key), figures.get(key),
+                    gates=gates)
+        subs = figures.get(f"scale_{tag}_subscribers")
+        if subs is not None:
+            print(f"info scale {tag.replace('_', '.')}: "
+                  f"{subs:.0f} subscriber lines")
+
+    if failed:
+        print("bench_compare: FAIL")
+        return 1
+    print("bench_compare: OK" + (" (with warnings)" if warned else ""))
+    return 0
+
+
 def phase_walls(doc):
     """Top-level (depth 0) profiler phases: name -> wall seconds."""
     return {
@@ -254,6 +341,13 @@ def main(argv):
         check_schema(doc, path)
         fresh_docs.append(doc)
     figures, phases = median_fresh(fresh_docs)
+
+    # Scale-sweep files carry none of the perf_micro machinery (no
+    # parallel_identical, no phase profile worth gating) — they get the
+    # per-scale RSS/latency comparison instead.
+    if baseline.get("bench") == "scale_sweep" or scale_tags(
+            baseline.get("figures", {})):
+        return compare_scale(baseline, figures)
 
     failed = False
     warned = False

@@ -11,6 +11,10 @@
 #            byte-identical, phase timings vs bench/baselines/, plus the
 #            fig01 and fig14 (transition) 1-vs-4-worker figure byte-compares
 #            (see scripts/bench_smoke.sh and scripts/bench_compare.py)
+#   scale    scale-sweep smoke: bench_scale_sweep at scales 0.4 and 1
+#            (CGN_SCALE_STAGE_SCALES overrides; the nightly workflow passes
+#            0.4,1,4), peak RSS and ns/packet gated against
+#            bench/baselines/scale_sweep.json (see scripts/scale_smoke.sh)
 #   recovery kill → resume differential smoke (build/): ctest -R
 #            'SuperRecovery' serial and at 4 workers — resumed campaigns
 #            must be byte-identical to uninterrupted ones
@@ -79,6 +83,13 @@ stage_bench() {
   scripts/bench_smoke.sh build
 }
 
+stage_scale() {
+  echo "== scale: sweep smoke (peak-RSS + ns/packet gate) =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j --target bench_scale_sweep
+  scripts/scale_smoke.sh build "${CGN_SCALE_STAGE_SCALES:-0.4,1}"
+}
+
 stage_soak() {
   echo "== soak: observatory stream smoke (live endpoint vs batch) =="
   cmake -B build -S . >/dev/null
@@ -97,7 +108,7 @@ fi
 
 for stage in "${stages[@]}"; do
   case "$stage" in
-    format|tier1|asan|tsan|bench|recovery|soak) "stage_$stage" ;;
+    format|tier1|asan|tsan|bench|scale|recovery|soak) "stage_$stage" ;;
     *) echo "check.sh: unknown stage '$stage'" >&2; exit 2 ;;
   esac
 done

@@ -32,52 +32,57 @@ void DhtNode::send_ping(sim::Network& net, const Contact& contact) {
   send_message(net, contact.endpoint, PingMsg{tx, id_});
 }
 
-DhtNode::Entry* DhtNode::find_entry(const Contact& contact) {
-  auto it = std::find_if(table_.begin(), table_.end(), [&](const Entry& e) {
-    return e.contact == contact;
-  });
-  return it == table_.end() ? nullptr : &*it;
+std::size_t DhtNode::find_index(const Contact& contact) const {
+  for (std::size_t i = 0; i < contacts_.size(); ++i)
+    if (contacts_[i] == contact) return i;
+  return kNotFound;
 }
 
 void DhtNode::add_candidate(const Contact& contact, sim::SimTime now) {
   if (contact.id == id_) return;  // never store ourselves
-  if (Entry* e = find_entry(contact)) {
-    e->last_seen = now;
+  if (std::size_t i = find_index(contact); i != kNotFound) {
+    last_seen_[i] = now;
     return;
   }
-  if (table_.size() >= config_.table_capacity) {
+  if (contacts_.size() >= config_.table_capacity) {
     // Kademlia-style retention: validated (live) entries are kept; the
     // stalest unvalidated candidate makes room. Only when every entry is
     // validated does the stalest validated one rotate out.
-    auto stalest = table_.end();
-    for (auto it = table_.begin(); it != table_.end(); ++it) {
-      if (it->pinned) continue;
-      if (stalest == table_.end() ||
-          (!it->validated && stalest->validated) ||
-          (it->validated == stalest->validated &&
-           it->last_seen < stalest->last_seen))
-        stalest = it;
+    std::size_t stalest = kNotFound;
+    for (std::size_t i = 0; i < contacts_.size(); ++i) {
+      if (flags_[i] & kPinned) continue;
+      const bool validated = flags_[i] & kValidated;
+      const bool stalest_validated =
+          stalest != kNotFound && (flags_[stalest] & kValidated);
+      if (stalest == kNotFound || (!validated && stalest_validated) ||
+          (validated == stalest_validated &&
+           last_seen_[i] < last_seen_[stalest]))
+        stalest = i;
     }
-    if (stalest == table_.end()) return;  // everything pinned: drop newcomer
-    *stalest = Entry{contact, false, false, false, now};
+    if (stalest == kNotFound) return;  // everything pinned: drop newcomer
+    contacts_[stalest] = contact;
+    flags_[stalest] = 0;
+    last_seen_[stalest] = now;
     return;
   }
-  table_.push_back(Entry{contact, false, false, false, now});
+  contacts_.push_back(contact);
+  flags_.push_back(0);
+  last_seen_.push_back(now);
 }
 
 void DhtNode::mark_validated(const Contact& contact, sim::SimTime now) {
-  if (Entry* e = find_entry(contact)) {
-    if (!e->validated) {
+  if (std::size_t i = find_index(contact); i != kNotFound) {
+    if (!(flags_[i] & kValidated)) {
       ++stats_.contacts_validated;
       g_contacts_validated.inc();
     }
-    e->validated = true;
-    e->ping_inflight = false;
-    e->last_seen = now;
+    flags_[i] = static_cast<std::uint8_t>((flags_[i] | kValidated) &
+                                          ~kPingInflight);
+    last_seen_[i] = now;
   } else {
     add_candidate(contact, now);
-    if (Entry* fresh = find_entry(contact)) {
-      fresh->validated = true;
+    if (std::size_t fresh = find_index(contact); fresh != kNotFound) {
+      flags_[fresh] |= kValidated;
       ++stats_.contacts_validated;
       g_contacts_validated.inc();
     }
@@ -86,18 +91,20 @@ void DhtNode::mark_validated(const Contact& contact, sim::SimTime now) {
 
 std::vector<Contact> DhtNode::closest(const NodeId160& target, std::size_t k,
                                       bool validated_only) const {
-  std::vector<const Entry*> entries;
-  entries.reserve(table_.size());
-  for (const Entry& e : table_)
-    if (e.validated || !validated_only) entries.push_back(&e);
-  std::size_t n = std::min(k, entries.size());
-  std::partial_sort(entries.begin(), entries.begin() + n, entries.end(),
-                    [&](const Entry* a, const Entry* b) {
-                      return a->contact.id.closer_to(target, b->contact.id);
+  std::vector<std::uint32_t> idx;
+  idx.reserve(contacts_.size());
+  for (std::size_t i = 0; i < contacts_.size(); ++i)
+    if (!validated_only || (flags_[i] & kValidated))
+      idx.push_back(static_cast<std::uint32_t>(i));
+  std::size_t n = std::min(k, idx.size());
+  std::partial_sort(idx.begin(), idx.begin() + n, idx.end(),
+                    [&](std::uint32_t a, std::uint32_t b) {
+                      return contacts_[a].id.closer_to(target,
+                                                       contacts_[b].id);
                     });
   std::vector<Contact> out;
   out.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) out.push_back(entries[i]->contact);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(contacts_[idx[i]]);
   return out;
 }
 
@@ -116,9 +123,9 @@ void DhtNode::handle(sim::Network& net, const sim::Packet& pkt) {
     // hairpin-observed internal endpoint this ping-back is the step that
     // turns it into propagatable — leakable — contact information.
     if (config_.ping_new_candidates) {
-      Entry* e = find_entry(sender);
-      if (e && !e->validated && !e->ping_inflight) {
-        e->ping_inflight = true;
+      std::size_t i = find_index(sender);
+      if (i != kNotFound && !(flags_[i] & (kValidated | kPingInflight))) {
+        flags_[i] |= kPingInflight;
         send_ping(net, sender);
       }
     }
@@ -129,7 +136,7 @@ void DhtNode::handle(sim::Network& net, const sim::Packet& pkt) {
     auto it = pending_.find(pong->tx);
     if (it == pending_.end()) return;
     Contact expected = it->second.contact;
-    pending_.erase(it);
+    pending_.erase(pong->tx);
     mark_validated(expected, now);
     // A response arriving from a different endpoint than we targeted (e.g.
     // the internal-path reply of a peer behind the same NAT) teaches us an
@@ -153,9 +160,9 @@ void DhtNode::handle(sim::Network& net, const sim::Packet& pkt) {
       // doubles as DHT validation. When the peer is behind the same NAT,
       // this is the packet that hairpins and exposes internal endpoints.
       if (config_.ping_announce_peers) {
-        Entry* e = find_entry(c);
-        if (e && !e->validated && !e->ping_inflight) {
-          e->ping_inflight = true;
+        std::size_t i = find_index(c);
+        if (i != kNotFound && !(flags_[i] & (kValidated | kPingInflight))) {
+          flags_[i] |= kPingInflight;
           send_ping(net, c);
         }
       }
@@ -167,7 +174,7 @@ void DhtNode::handle(sim::Network& net, const sim::Packet& pkt) {
     auto it = pending_.find(nodes->tx);
     if (it != pending_.end()) {
       Contact expected = it->second.contact;
-      pending_.erase(it);
+      pending_.erase(nodes->tx);
       mark_validated(expected, now);
     }
     for (const Contact& c : nodes->contacts) add_candidate(c, now);
@@ -185,26 +192,29 @@ void DhtNode::bootstrap(sim::Network& net, const netcore::Endpoint& server) {
 
 void DhtNode::run_maintenance(sim::Network& net) {
   const sim::SimTime now = net.clock().now();
-  // Abandon stale pings so candidates can be retried or evicted.
-  for (auto it = pending_.begin(); it != pending_.end();) {
-    if (now - it->second.sent_at > config_.ping_timeout_s) {
-      if (Entry* e = find_entry(it->second.contact)) e->ping_inflight = false;
-      it = pending_.erase(it);
-    } else {
-      ++it;
+  // Abandon stale pings so candidates can be retried or evicted. Collect
+  // first, erase after: FlatMap's backward-shift erase moves entries under
+  // an in-flight iteration. Nothing here sends, so order is unobservable.
+  std::vector<std::uint64_t> expired_tx;
+  for (const auto& [tx, p] : pending_) {
+    if (now - p.sent_at > config_.ping_timeout_s) {
+      if (std::size_t i = find_index(p.contact); i != kNotFound)
+        flags_[i] &= static_cast<std::uint8_t>(~kPingInflight);
+      expired_tx.push_back(tx);
     }
   }
+  for (std::uint64_t tx : expired_tx) pending_.erase(tx);
 
   // Validate unvalidated candidates. Index-based on purpose: the pong comes
   // back synchronously inside send_ping and its handler may add_candidate
-  // (a same-NAT peer answering from its internal endpoint), growing table_
-  // and invalidating any reference held across the call.
+  // (a same-NAT peer answering from its internal endpoint), growing the
+  // table and invalidating any reference held across the call.
   int budget = config_.pings_per_round;
-  for (std::size_t i = 0; i < table_.size(); ++i) {
+  for (std::size_t i = 0; i < contacts_.size(); ++i) {
     if (budget <= 0) break;
-    if (table_[i].validated || table_[i].ping_inflight) continue;
-    table_[i].ping_inflight = true;
-    const Contact contact = table_[i].contact;
+    if (flags_[i] & (kValidated | kPingInflight)) continue;
+    flags_[i] |= kPingInflight;
+    const Contact contact = contacts_[i];
     send_ping(net, contact);
     --budget;
   }
@@ -226,7 +236,8 @@ void DhtNode::run_maintenance(sim::Network& net) {
 void DhtNode::learn_contact(const Contact& contact, bool pinned) {
   add_candidate(contact, 0.0);
   if (pinned) {
-    if (Entry* e = find_entry(contact)) e->pinned = true;
+    if (std::size_t i = find_index(contact); i != kNotFound)
+      flags_[i] |= kPinned;
   }
 }
 
@@ -237,23 +248,16 @@ void DhtNode::announce(sim::Network& net, const netcore::Endpoint& tracker,
 
 std::vector<Contact> DhtNode::validated_contacts() const {
   std::vector<Contact> out;
-  for (const Entry& e : table_)
-    if (e.validated) out.push_back(e.contact);
+  for (std::size_t i = 0; i < contacts_.size(); ++i)
+    if (flags_[i] & kValidated) out.push_back(contacts_[i]);
   return out;
 }
 
-std::vector<Contact> DhtNode::all_contacts() const {
-  std::vector<Contact> out;
-  out.reserve(table_.size());
-  for (const Entry& e : table_) out.push_back(e.contact);
-  return out;
-}
+std::vector<Contact> DhtNode::all_contacts() const { return contacts_; }
 
 bool DhtNode::knows_validated(const Contact& c) const {
-  auto it = std::find_if(table_.begin(), table_.end(), [&](const Entry& e) {
-    return e.contact == c && e.validated;
-  });
-  return it != table_.end();
+  std::size_t i = find_index(c);
+  return i != kNotFound && (flags_[i] & kValidated);
 }
 
 }  // namespace cgn::dht

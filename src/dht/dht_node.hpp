@@ -12,10 +12,10 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "dht/messages.hpp"
+#include "flat/flat.hpp"
 #include "sim/network.hpp"
 #include "sim/rng.hpp"
 
@@ -86,7 +86,7 @@ class DhtNode {
   [[nodiscard]] const DhtNodeStats& stats() const noexcept { return stats_; }
 
   [[nodiscard]] std::size_t table_size() const noexcept {
-    return table_.size();
+    return contacts_.size();
   }
   [[nodiscard]] std::vector<Contact> validated_contacts() const;
   [[nodiscard]] std::vector<Contact> all_contacts() const;
@@ -94,24 +94,23 @@ class DhtNode {
   [[nodiscard]] bool knows_validated(const Contact& c) const;
 
  private:
-  struct Entry {
-    Contact contact;
-    bool validated = false;
-    bool ping_inflight = false;
-    bool pinned = false;  ///< kept alive out-of-band (LAN discovery)
-    sim::SimTime last_seen = 0;
-  };
   struct Pending {
     Contact contact;
     sim::SimTime sent_at = 0;
   };
+
+  // Routing-table entry state, packed into one byte per contact.
+  static constexpr std::uint8_t kValidated = 1;
+  static constexpr std::uint8_t kPingInflight = 2;
+  static constexpr std::uint8_t kPinned = 4;  ///< kept alive out-of-band
+  static constexpr std::size_t kNotFound = static_cast<std::size_t>(-1);
 
   void send_message(sim::Network& net, const netcore::Endpoint& dst,
                     Message msg);
   void send_ping(sim::Network& net, const Contact& contact);
   void add_candidate(const Contact& contact, sim::SimTime now);
   void mark_validated(const Contact& contact, sim::SimTime now);
-  Entry* find_entry(const Contact& contact);
+  [[nodiscard]] std::size_t find_index(const Contact& contact) const;
   [[nodiscard]] std::vector<Contact> closest(const NodeId160& target,
                                              std::size_t k,
                                              bool validated_only) const;
@@ -123,8 +122,16 @@ class DhtNode {
   sim::Rng rng_;
   DhtNodeStats stats_;
 
-  std::vector<Entry> table_;
-  std::unordered_map<std::uint64_t, Pending> pending_;
+  // Struct-of-arrays routing table: every hot scan (the identity probe on
+  // each received packet, the closest-k filter, eviction) walks exactly the
+  // column it needs — dense Contact records for comparisons, one flag byte
+  // per entry for state filters — instead of striding over a padded AoS
+  // entry. With millions of peers resident this is the difference between
+  // the table fitting in cache-friendly columns and thrashing.
+  std::vector<Contact> contacts_;
+  std::vector<std::uint8_t> flags_;
+  std::vector<sim::SimTime> last_seen_;
+  flat::FlatMap<std::uint64_t, Pending> pending_;
   std::uint64_t next_tx_ = 1;
 };
 

@@ -163,8 +163,10 @@ void NatDevice::reset_state(sim::SimTime now) {
   // state vanishes; a real syslog-based TranslationLog would see the same
   // burst of teardown records when a CGN reboots.
   if (on_expired_)
-    for (const auto& [key, m] : mappings_)
+    for (const auto& [key, h] : mappings_) {
+      const Mapping& m = slab_[h];
       on_expired_(key.proto, m.external, m.created_at, now);
+    }
   ++stats_.restarts;
   g_fault_restarts.inc();
   stats_.restart_flushed_mappings += mappings_.size();
@@ -178,6 +180,7 @@ void NatDevice::reset_state(sim::SimTime now) {
 
   mappings_.clear();
   by_external_.clear();
+  slab_.clear();
   for (auto& used : used_ports_udp_) used.clear();
   for (auto& used : used_ports_tcp_) used.clear();
   seq_cursor_.assign(pool_.size(), config_.port_min);
@@ -226,7 +229,8 @@ bool NatDevice::passes_filter(const Mapping& m,
 void NatDevice::erase_mapping(const OutKey& key) {
   auto it = mappings_.find(key);
   if (it == mappings_.end()) return;
-  const Mapping& m = it->second;
+  const std::uint32_t h = it->second;
+  const Mapping& m = slab_[h];
   if (on_expired_)
     on_expired_(key.proto, m.external, m.created_at,
                 m.last_refresh + timeout_for(m));
@@ -239,41 +243,42 @@ void NatDevice::erase_mapping(const OutKey& key) {
     g_ports_in_use.sub(static_cast<std::int64_t>(used.erase(m.external.port)));
   }
   g_active_mappings.sub(1);
-  // Key-based erase: `key` may alias the stored key (find_in passes
-  // map_it->first), which FlatMap::erase supports — the key is only read
-  // during the probe, before the entry is destroyed.
+  // Key-based erase before the slab slot dies: `key` may alias the stored
+  // m.key (find_in passes it), and FlatMap::erase only reads the key during
+  // the probe — while the slab object is still alive.
   mappings_.erase(key);
+  slab_.erase(h);
 }
 
 NatDevice::Mapping* NatDevice::find_out(const OutKey& key, sim::SimTime now) {
   auto it = mappings_.find(key);
   if (it == mappings_.end()) return nullptr;
-  if (expired(it->second, now)) {
+  Mapping& m = slab_[it->second];
+  if (expired(m, now)) {
     ++stats_.mappings_expired;
     g_mappings_expired.inc();
     erase_mapping(key);
     return nullptr;
   }
-  return &it->second;
+  return &m;
 }
 
 NatDevice::Mapping* NatDevice::find_in(netcore::Protocol proto,
                                        const netcore::Endpoint& external,
                                        sim::SimTime now) {
+  // One probe on the inbound path: the external key resolves straight to a
+  // slab handle (both maps are kept in sync on every create/erase, so a hit
+  // here is always a live slab slot).
   auto it = by_external_.find(InKey{proto, external});
   if (it == by_external_.end()) return nullptr;
-  auto map_it = mappings_.find(it->second);
-  if (map_it == mappings_.end()) {
-    by_external_.erase(InKey{proto, external});
-    return nullptr;
-  }
-  if (expired(map_it->second, now)) {
+  Mapping& m = slab_[it->second];
+  if (expired(m, now)) {
     ++stats_.mappings_expired;
     g_mappings_expired.inc();
-    erase_mapping(map_it->first);
+    erase_mapping(m.key);
     return nullptr;
   }
-  return &map_it->second;
+  return &m;
 }
 
 std::size_t NatDevice::pick_pool_index(netcore::Ipv4Address internal_ip) {
@@ -467,20 +472,20 @@ NatDevice::Mapping* NatDevice::create_mapping(const OutKey& key,
                                                    : used_ports_tcp_[pool_idx];
   used.insert(*port);
 
-  Mapping m;
+  const std::uint32_t h = slab_.emplace();
+  Mapping& m = slab_[h];
   m.key = key;
   m.external = netcore::Endpoint{pool_[pool_idx], *port};
   m.created_at = now;
   m.last_refresh = now;
-  auto [it, inserted] = mappings_.emplace(key, std::move(m));
-  by_external_.emplace(InKey{key.proto, it->second.external}, key);
+  mappings_.emplace(key, h);
+  by_external_.emplace(InKey{key.proto, m.external}, h);
   ++stats_.mappings_created;
   g_mappings_created.inc();
   g_active_mappings.add(1);
   g_ports_in_use.add(1);
-  if (on_created_)
-    on_created_(key.proto, key.internal, it->second.external, now);
-  return &it->second;
+  if (on_created_) on_created_(key.proto, key.internal, m.external, now);
+  return &m;
 }
 
 void NatDevice::track_tcp(Mapping& m, const sim::Packet& pkt, bool inbound) {
@@ -580,20 +585,21 @@ std::optional<netcore::Endpoint> NatDevice::lookup_external(
              config_.mapping == MappingType::symmetric ? remote
                                                        : netcore::Endpoint{}};
   auto it = mappings_.find(key);
-  if (it == mappings_.end() || expired(it->second, now)) return std::nullopt;
-  return it->second.external;
+  if (it == mappings_.end() || expired(slab_[it->second], now))
+    return std::nullopt;
+  return slab_[it->second].external;
 }
 
 std::size_t NatDevice::active_mappings(sim::SimTime now) const {
-  return static_cast<std::size_t>(
-      std::count_if(mappings_.begin(), mappings_.end(),
-                    [&](const auto& kv) { return !expired(kv.second, now); }));
+  return static_cast<std::size_t>(std::count_if(
+      mappings_.begin(), mappings_.end(),
+      [&](const auto& kv) { return !expired(slab_[kv.second], now); }));
 }
 
 void NatDevice::collect_garbage(sim::SimTime now) {
   std::vector<OutKey> dead;
-  for (const auto& [key, m] : mappings_)
-    if (expired(m, now)) dead.push_back(key);
+  for (const auto& [key, h] : mappings_)
+    if (expired(slab_[h], now)) dead.push_back(key);
   stats_.mappings_expired += dead.size();
   g_mappings_expired.inc(dead.size());
   for (const auto& key : dead) erase_mapping(key);
@@ -626,8 +632,8 @@ bool NatDevice::renumber_external(netcore::Ipv4Address old_address,
 
   // Drop every mapping bound to the old address (flows break).
   std::vector<OutKey> dead;
-  for (const auto& [key, m] : mappings_)
-    if (m.external.address == old_address) dead.push_back(key);
+  for (const auto& [key, h] : mappings_)
+    if (slab_[h].external.address == old_address) dead.push_back(key);
   for (const auto& key : dead) erase_mapping(key);
   stats_.mappings_expired += dead.size();
   g_mappings_expired.inc(dead.size());

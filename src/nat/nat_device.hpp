@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "flat/arena.hpp"
 #include "flat/flat.hpp"
 #include "nat/nat_types.hpp"
 #include "netcore/ipv4.hpp"
@@ -219,8 +220,17 @@ class NatDevice final : public sim::Middlebox {
   sim::Rng rng_;
   NatStats stats_;
 
-  flat::FlatMap<OutKey, Mapping, OutKeyHash> mappings_;
-  flat::FlatMap<InKey, OutKey, InKeyHash> by_external_;
+  // Mapping storage is a chunked slab (stable addresses, 32-bit handles);
+  // both translation maps hold handles into it instead of fat values. The
+  // outbound path resolves OutKey -> handle -> Mapping; the inbound path
+  // resolves InKey -> handle directly — one probe plus a slab deref where
+  // it used to chain two full map lookups. Handle values are deterministic
+  // (LIFO slot reuse), so mapping behaviour stays byte-reproducible.
+  // Iteration that can fire observer hooks always walks `mappings_` (never
+  // the slab) so the visit order is identical to the pre-slab layout.
+  flat::Arena<Mapping> slab_;
+  flat::FlatMap<OutKey, std::uint32_t, OutKeyHash> mappings_;
+  flat::FlatMap<InKey, std::uint32_t, InKeyHash> by_external_;
 
   // Per (pool index, protocol) used ports, as 16-bit-port-space bitmaps.
   std::vector<flat::PortSet> used_ports_udp_;

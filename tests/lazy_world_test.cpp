@@ -1,0 +1,231 @@
+// Lazy-vs-eager world materialization differentials (README "Scale"): a
+// world built with lazy_build must produce byte-identical campaign results
+// to the eager build of the same config — at any worker count, under a
+// stormy fault plan, and across a kill → resume cycle — while actually
+// deferring construction until first use. Silent-line ballast must perturb
+// nothing.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dht/dht_node.hpp"
+#include "fault/fault.hpp"
+#include "netalyzr/session.hpp"
+#include "scenario/campaign.hpp"
+#include "scenario/churn.hpp"
+#include "scenario/internet.hpp"
+#include "super/supervisor.hpp"
+
+namespace cgn::scenario {
+namespace {
+
+InternetConfig tiny_config(bool lazy) {
+  InternetConfig cfg;
+  cfg.seed = 11;
+  cfg.routed_ases = 240;
+  cfg.pbl_eyeballs = 46;
+  cfg.apnic_eyeballs = 50;
+  cfg.cellular_ases = 8;
+  cfg.nz_eyeball_coverage = 0.6;
+  cfg.nz_sessions_lo = 6;
+  cfg.nz_sessions_hi = 14;
+  cfg.lazy_build = lazy;
+  return cfg;
+}
+
+std::size_t materialized_lines(const Internet& internet) {
+  std::size_t n = 0;
+  for (const IspInstance& isp : internet.isps)
+    for (const Subscriber& sub : isp.subscribers)
+      if (sub.device != sim::kNoNode) ++n;
+  return n;
+}
+
+std::size_t total_lines(const Internet& internet) {
+  std::size_t n = 0;
+  for (const IspInstance& isp : internet.isps) n += isp.subscribers.size();
+  return n;
+}
+
+struct NetalyzrRun {
+  std::uint64_t fingerprint = 0;
+  std::size_t sessions = 0;
+  double final_time = 0.0;
+};
+
+// Note: global construction counters (e.g. nat.mappings_created) are NOT
+// mode-invariant — a lazy world never creates the UPnP mappings of lines no
+// campaign touches. The invariant is the measurement output.
+NetalyzrRun run_netalyzr(const InternetConfig& world, std::size_t threads,
+                         const super::SupervisorConfig& supervise = {}) {
+  auto internet = build_internet(world);
+  NetalyzrCampaignConfig cfg;
+  cfg.enum_fraction = 0.5;
+  cfg.stun_fraction = 0.5;
+  cfg.threads = threads;
+  cfg.supervise = supervise;
+  const auto sessions = run_netalyzr_campaign(*internet, cfg);
+  NetalyzrRun run;
+  run.fingerprint = netalyzr::fingerprint(sessions);
+  run.sessions = sessions.size();
+  run.final_time = internet->clock.now();
+  return run;
+}
+
+TEST(LazyWorld, BuildDefersLineConstruction) {
+  auto lazy = build_internet(tiny_config(true));
+  EXPECT_TRUE(lazy->lazy());
+  EXPECT_EQ(materialized_lines(*lazy), 0u);
+
+  auto eager = build_internet(tiny_config(false));
+  EXPECT_FALSE(eager->lazy());
+  EXPECT_EQ(materialized_lines(*eager), total_lines(*eager));
+  // Same plan on both sides: identical subscriber-slot population.
+  EXPECT_EQ(total_lines(*lazy), total_lines(*eager));
+  EXPECT_EQ(lazy->planned_subscriber_count(), total_lines(*eager));
+}
+
+TEST(LazyWorld, EnsureLineMaterializesOneHomeIdempotently) {
+  auto internet = build_internet(tiny_config(true));
+  ASSERT_FALSE(internet->isps.empty());
+  IspInstance& isp = internet->isps.front();
+  ASSERT_FALSE(isp.subscribers.empty());
+
+  Subscriber& sub = internet->ensure_line(isp, 0);
+  EXPECT_NE(sub.device, sim::kNoNode);
+  EXPECT_NE(sub.demux, nullptr);
+  const std::size_t built = materialized_lines(*internet);
+  EXPECT_GE(built, 1u);
+  EXPECT_LT(built, total_lines(*internet));
+
+  // Re-touching the same slot builds nothing new.
+  Subscriber& again = internet->ensure_line(isp, 0);
+  EXPECT_EQ(again.device, sub.device);
+  EXPECT_EQ(materialized_lines(*internet), built);
+}
+
+TEST(LazyWorld, MaterializeAllEqualsEagerPopulation) {
+  auto lazy = build_internet(tiny_config(true));
+  lazy->materialize_all();
+  auto eager = build_internet(tiny_config(false));
+  ASSERT_EQ(lazy->isps.size(), eager->isps.size());
+  for (std::size_t i = 0; i < lazy->isps.size(); ++i) {
+    const auto& ls = lazy->isps[i].subscribers;
+    const auto& es = eager->isps[i].subscribers;
+    ASSERT_EQ(ls.size(), es.size()) << "isp " << i;
+    for (std::size_t j = 0; j < ls.size(); ++j) {
+      EXPECT_EQ(ls[j].device_address, es[j].device_address)
+          << "isp " << i << " line " << j;
+      EXPECT_EQ(ls[j].behind_cgn, es[j].behind_cgn);
+      EXPECT_EQ(ls[j].home_id, es[j].home_id);
+      EXPECT_EQ(ls[j].cpe != nullptr, es[j].cpe != nullptr);
+      EXPECT_EQ(ls[j].bt_client != nullptr, es[j].bt_client != nullptr);
+    }
+  }
+}
+
+TEST(LazyWorld, BtPeersMatchEagerOrderAndIdentity) {
+  auto eager = build_internet(tiny_config(false));
+  auto lazy = build_internet(tiny_config(true));
+  const auto& ep = eager->bt_peers();
+  const auto& lp = lazy->bt_peers();
+  ASSERT_EQ(ep.size(), lp.size());
+  for (std::size_t i = 0; i < ep.size(); ++i) {
+    EXPECT_EQ(ep[i]->id(), lp[i]->id()) << "peer " << i;
+    EXPECT_EQ(ep[i]->local_endpoint(), lp[i]->local_endpoint());
+  }
+}
+
+TEST(LazyWorld, NetalyzrMatchesEagerAtAnyWorkerCount) {
+  const NetalyzrRun eager = run_netalyzr(tiny_config(false), 1);
+  ASSERT_GT(eager.sessions, 50u);
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    const NetalyzrRun lazy = run_netalyzr(tiny_config(true), threads);
+    EXPECT_EQ(lazy.fingerprint, eager.fingerprint)
+        << threads << "-worker lazy run diverged from eager";
+    EXPECT_EQ(lazy.sessions, eager.sessions) << threads;
+    EXPECT_EQ(lazy.final_time, eager.final_time) << threads;
+  }
+}
+
+TEST(LazyWorld, StormyFaultPlanMatchesEager) {
+  auto stormy = [](bool lazy) {
+    InternetConfig cfg = tiny_config(lazy);
+    cfg.fault_plan.link.loss_rate = 0.02;
+    cfg.fault_plan.link.duplication_rate = 0.01;
+    cfg.fault_plan.peers.unresponsive_fraction = 0.10;
+    cfg.fault_plan.nat.restart_period_s = 900.0;
+    return cfg;
+  };
+  const NetalyzrRun eager = run_netalyzr(stormy(false), 1);
+  ASSERT_GT(eager.sessions, 50u);
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    const NetalyzrRun lazy = run_netalyzr(stormy(true), threads);
+    EXPECT_EQ(lazy.fingerprint, eager.fingerprint)
+        << threads << "-worker lazy run diverged under the fault plan";
+    EXPECT_EQ(lazy.sessions, eager.sessions) << threads;
+    EXPECT_EQ(lazy.final_time, eager.final_time) << threads;
+  }
+}
+
+TEST(LazyWorld, KillResumeOnLazyWorldMatchesEagerUninterrupted) {
+  const NetalyzrRun eager = run_netalyzr(tiny_config(false), 4);
+  ASSERT_GT(eager.sessions, 50u);
+
+  const std::string ckpt_path =
+      ::testing::TempDir() + "cgn_lazy_world_resume.ckpt";
+  std::remove(ckpt_path.c_str());
+  super::SupervisorConfig ckpt;
+  ckpt.checkpoint_path = ckpt_path;
+
+  // Kill a lazy campaign partway ("process death" discards the Internet),
+  // then resume on a second freshly planned lazy world.
+  super::SupervisorConfig kill = ckpt;
+  kill.abort_after_shards = 10;
+  EXPECT_THROW((void)run_netalyzr(tiny_config(true), 4, kill),
+               super::CampaignAborted);
+  const NetalyzrRun resumed = run_netalyzr(tiny_config(true), 4, ckpt);
+  EXPECT_EQ(resumed.sessions, eager.sessions);
+  EXPECT_EQ(resumed.fingerprint, eager.fingerprint)
+      << "lazy kill->resume diverged from the eager uninterrupted run";
+  EXPECT_EQ(resumed.final_time, eager.final_time);
+  std::remove(ckpt_path.c_str());
+}
+
+TEST(LazyWorld, ChurnMatchesEager) {
+  auto run_churn = [](bool lazy) {
+    auto internet = build_internet(tiny_config(lazy));
+    ChurnConfig cfg;
+    ChurnStats stats = apply_renumbering_event(*internet, cfg);
+    return std::pair<std::size_t, std::size_t>(stats.events_applied,
+                                               stats.lines_renumbered);
+  };
+  EXPECT_EQ(run_churn(true), run_churn(false));
+}
+
+TEST(LazyWorld, SilentLinesAddBallastWithoutPerturbingFigures) {
+  InternetConfig with_ballast = tiny_config(true);
+  with_ballast.silent_lines_per_cgn_as = 40;
+
+  // Planning ballast costs no RNG draw: campaign output is unchanged.
+  const NetalyzrRun plain = run_netalyzr(tiny_config(false), 1);
+  const NetalyzrRun ballast = run_netalyzr(with_ballast, 1);
+  EXPECT_EQ(ballast.fingerprint, plain.fingerprint);
+  EXPECT_EQ(ballast.sessions, plain.sessions);
+
+  // Materializing it grows the world beyond the subscriber plan.
+  auto internet = build_internet(with_ballast);
+  EXPECT_GT(internet->planned_subscriber_count(), total_lines(*internet));
+  std::size_t built = 0;
+  for (IspInstance& isp : internet->isps)
+    built += internet->materialize_silent_lines(isp);
+  EXPECT_GT(built, 0u);
+  EXPECT_EQ(total_lines(*internet) + built,
+            internet->planned_subscriber_count());
+}
+
+}  // namespace
+}  // namespace cgn::scenario
