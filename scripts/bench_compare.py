@@ -19,7 +19,12 @@ p50/p90/p99 quantiles on obs.metrics histograms (both introduced with the
 streaming observatory) — when present they are shape-checked (numeric,
 p50 <= p90 <= p99), when absent the file still validates. Figures from
 the transition family (bench_fig14_transition) get one extra check:
-every detect_acc_* entry must be a fraction in [0, 1].
+every detect_acc_* entry must be a fraction in [0, 1]. Push-ingestion
+soak files (bench_soak_ingest, figures named ingest_*) get their own:
+every ingest_* figure must be non-negative, ingest_figure_mismatches
+must be exactly 0 (a mismatch is broken streaming==batch determinism,
+not noise), and ingest_max_lag must not exceed ingest_queue_capacity
+(the bounded-queue contract).
 
 Scale-sweep files (bench == "scale_sweep", from bench_scale_sweep) take a
 different comparison path: for every scale tag present on both sides the
@@ -152,6 +157,27 @@ def check_schema(doc, path):
         if doc["figures"][ns_key] < 0:
             raise BadInput(f"{path}: figure \"{ns_key}\" = "
                            f"{doc['figures'][ns_key]} is negative")
+    # Push-ingestion soak figures: counters can never go negative, a
+    # recorded figure mismatch means streaming==batch determinism broke,
+    # and lag above the configured queue capacity means the "bounded"
+    # queue was not.
+    figs = doc["figures"]
+    ingest_figs = [name for name in figs if name.startswith("ingest_")]
+    if ingest_figs:
+        for name in ingest_figs:
+            if figs[name] < 0:
+                raise BadInput(f"{path}: figure \"{name}\" = {figs[name]} "
+                               "is negative — ingest counters only grow")
+        if figs.get("ingest_figure_mismatches", 0) != 0:
+            raise BadInput(f"{path}: ingest_figure_mismatches = "
+                           f"{figs['ingest_figure_mismatches']} — push-fed "
+                           "figures diverged from the batch ground truth")
+        cap = figs.get("ingest_queue_capacity")
+        lag = figs.get("ingest_max_lag")
+        if cap is not None and lag is not None and lag > cap:
+            raise BadInput(f"{path}: ingest_max_lag {lag} exceeds "
+                           f"ingest_queue_capacity {cap} — the ingest "
+                           "queue is not bounded")
     obs = doc["obs"]
     for key in ("metrics", "phases"):
         if key not in obs:

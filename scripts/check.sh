@@ -21,7 +21,9 @@
 #   soak     observatory soak smoke: cgn_observatoryd streams the fig04 +
 #            fig05 campaigns live; /metrics//health//trace are
 #            schema-checked and /figures must equal the batch BENCH JSONs,
-#            including after a kill → checkpoint-resume drill (see
+#            including after a kill → checkpoint-resume drill and a push
+#            leg where an external cgn_feeder is kill -9'd mid-stream and
+#            resumes from the server's cursor (see
 #            scripts/obs_soak_smoke.sh and scripts/obs_scrape.py)
 #
 # Usage: scripts/check.sh [stage...]
@@ -93,7 +95,7 @@ stage_scale() {
 stage_soak() {
   echo "== soak: observatory stream smoke (live endpoint vs batch) =="
   cmake -B build -S . >/dev/null
-  cmake --build build -j --target cgn_observatoryd \
+  cmake --build build -j --target cgn_observatoryd --target cgn_feeder \
     --target bench_fig04_clusters --target bench_fig05_netalyzr_candidates
   scripts/obs_soak_smoke.sh build
 }

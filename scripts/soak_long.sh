@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# Long push-ingestion soak (the nightly long-soak job; also runnable by
+# hand before touching the ingest path):
+#
+#   bench_soak_ingest streams the fig04+fig05 campaign under a stormy
+#   fault plan (link loss, duplication, deaf peers, CGN restarts, shard
+#   crashes with a retry budget) into a live observatory over the real
+#   ingest socket for DURATION seconds, alternating clean cycles with
+#   mid-frame disconnect + cursor-resume cycles, and finishing with the
+#   frozen-drain overload/shedding leg. While it soaks, this script
+#   scrapes the daemon every ~30s with obs_scrape.py --expect-ingest,
+#   which asserts the ingest gauges exist and the queue depth stays
+#   within capacity (bounded lag). The bench itself exits nonzero on any
+#   figure mismatch or unaccounted shedding, and its BENCH_soak_ingest.json
+#   must pass the bench_compare.py ingest schema gate.
+#
+# Usage: scripts/soak_long.sh [builddir] [duration_s]   # default: build 1200
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+DURATION="${2:-1200}"
+SOAK="$BUILD/bench/bench_soak_ingest"
+OUT="$BUILD/soak-long"
+[[ -x "$SOAK" ]] || {
+  echo "soak_long: $SOAK not built (cmake --build $BUILD --target bench_soak_ingest)" >&2
+  exit 2
+}
+rm -rf "$OUT"
+mkdir -p "$OUT"
+
+# Small world, stormy weather: the same per-hop/per-shard fault knobs the
+# fault-campaign tests call a stormy plan, plus shard crashes that the
+# retry budget must absorb. The soak is about the ingest path surviving
+# hostility for a long time, not about world size.
+export CGN_BENCH_SCALE=0.05 CGN_BENCH_SEED=42
+export CGN_FAULT_LOSS=0.02 CGN_FAULT_DUP=0.01 CGN_FAULT_UNRESP=0.10
+export CGN_FAULT_RESTART_S=900
+export CGN_FAULT_SHARD_CRASH=0.2 CGN_SUPER_ATTEMPTS=3
+export CGN_SOAK_DURATION_S="$DURATION"
+export CGN_BENCH_JSON_DIR="$OUT"
+
+SOAK_PID=""
+cleanup() { [[ -n "$SOAK_PID" ]] && kill "$SOAK_PID" 2>/dev/null || true; }
+trap cleanup EXIT
+
+echo "== soak_long: bench_soak_ingest for ${DURATION}s (stormy plan) =="
+"$SOAK" > "$OUT/soak.log" 2>&1 &
+SOAK_PID=$!
+
+# The bench announces its HTTP port exactly like cgn_observatoryd.
+PORT=""
+for _ in $(seq 1 600); do
+  PORT=$(sed -n 's/^observatory: listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+    "$OUT/soak.log" | head -n1)
+  [[ -n "$PORT" ]] && break
+  kill -0 "$SOAK_PID" 2>/dev/null || {
+    echo "soak_long: bench died before announcing a port:" >&2
+    cat "$OUT/soak.log" >&2; exit 1; }
+  sleep 0.5
+done
+[[ -n "$PORT" ]] || {
+  echo "soak_long: no listening line in $OUT/soak.log" >&2; exit 1; }
+OBS_URL="http://127.0.0.1:$PORT"
+echo "soak_long: scraping $OBS_URL every 30s"
+
+# Periodic scrapes while the soak runs: the gauges must stay present and
+# the ingest queue bounded the whole time, not just at the end.
+SCRAPES=0
+while kill -0 "$SOAK_PID" 2>/dev/null; do
+  # The overload leg at the very end legitimately freezes the drain; a
+  # scrape that races the teardown would see a vanished socket, so only
+  # fail a scrape while the soak is still confirmed alive afterwards.
+  if python3 scripts/obs_scrape.py "$OBS_URL" --expect-ingest \
+      > "$OUT/scrape_$SCRAPES.log" 2>&1; then
+    SCRAPES=$((SCRAPES + 1))
+  elif kill -0 "$SOAK_PID" 2>/dev/null; then
+    echo "soak_long: mid-soak scrape failed:" >&2
+    cat "$OUT/scrape_$SCRAPES.log" >&2
+    exit 1
+  fi
+  for _ in $(seq 1 60); do
+    kill -0 "$SOAK_PID" 2>/dev/null || break
+    sleep 0.5
+  done
+done
+
+rc=0
+wait "$SOAK_PID" || rc=$?
+SOAK_PID=""
+tail -n 5 "$OUT/soak.log"
+if [[ "$rc" -ne 0 ]]; then
+  echo "soak_long: bench_soak_ingest exited $rc" >&2
+  cat "$OUT/soak.log" >&2
+  exit 1
+fi
+[[ "$SCRAPES" -ge 1 ]] || {
+  echo "soak_long: soak finished before a single scrape landed" >&2; exit 1; }
+echo "soak_long: $SCRAPES mid-soak scrapes, all green"
+
+echo "== soak_long: schema gate on BENCH_soak_ingest.json =="
+python3 scripts/bench_compare.py --schema-check "$OUT/BENCH_soak_ingest.json"
+
+echo "== soak_long: all green =="

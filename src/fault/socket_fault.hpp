@@ -1,0 +1,36 @@
+// Deterministic socket-fault injection for the observatory's push path.
+//
+// The link/peer/NAT fault plans (fault.hpp) impair the *simulated* network;
+// this profile impairs a real loopback socket so tests and soak drills can
+// exercise the ingest boundary the way a flaky WAN would: short writes
+// (max_write_bytes chunks the send path, forcing the receiver through its
+// partial-read loops), slow writers (write_delay_us between chunks — the
+// client-side half of a slow-loris), and hard mid-frame disconnects
+// (disconnect_after_bytes closes the socket after exactly N bytes, possibly
+// inside a frame header). All three are byte-deterministic: the same
+// profile over the same stream faults at the same offsets every run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cgn::fault {
+
+struct SocketFaultProfile {
+  /// Largest single send() the client issues; 0 = unlimited. Small values
+  /// (1-7 bytes) split frame headers across reads on the receiver.
+  std::size_t max_write_bytes = 0;
+  /// Wall-clock pause between chunked sends (a deliberately slow writer).
+  int write_delay_us = 0;
+  /// Hard-close the socket after exactly this many bytes have been sent
+  /// (mid-frame when it lands inside one); 0 = never. The writer sees the
+  /// failure as a thrown error and may reconnect-and-resume.
+  std::uint64_t disconnect_after_bytes = 0;
+
+  [[nodiscard]] bool active() const noexcept {
+    return max_write_bytes != 0 || write_delay_us != 0 ||
+           disconnect_after_bytes != 0;
+  }
+};
+
+}  // namespace cgn::fault

@@ -136,6 +136,18 @@ class Gauge {
       (void)v;
     }
   }
+  /// Raises the calling thread's cell to at least `v` — a single-writer
+  /// high-water mark (queue depths, lag ceilings). Like set(), only
+  /// meaningful when one thread owns the gauge.
+  void track_max(std::int64_t v) noexcept {
+    if constexpr (kMetricsEnabled) {
+      auto& cell = cells_[detail::t_metric_slot].v;
+      if (cell.load(std::memory_order_relaxed) < v)
+        cell.store(v, std::memory_order_relaxed);
+    } else {
+      (void)v;
+    }
+  }
   [[nodiscard]] std::int64_t value() const noexcept {
     std::int64_t total = 0;
     for (const auto& c : cells_) total += c.v.load(std::memory_order_relaxed);

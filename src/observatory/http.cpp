@@ -5,6 +5,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cerrno>
 #include <cstring>
 #include <sstream>
@@ -13,8 +14,6 @@
 namespace cgn::observatory {
 
 namespace {
-
-constexpr std::size_t kMaxRequestBytes = 8192;
 
 std::string_view status_text(int status) {
   switch (status) {
@@ -26,27 +25,56 @@ std::string_view status_text(int status) {
       return "Not Found";
     case 405:
       return "Method Not Allowed";
+    case 408:
+      return "Request Timeout";
+    case 413:
+      return "Payload Too Large";
+    case 431:
+      return "Request Header Fields Too Large";
     default:
       return "Internal Server Error";
   }
 }
 
-void send_all(int fd, const std::string& data) {
+bool send_all(int fd, const std::string& data) {
   std::size_t off = 0;
   while (off < data.size()) {
     // MSG_NOSIGNAL: a scraper hanging up mid-response must not SIGPIPE the
     // whole daemon.
     const ssize_t n =
         ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
-    if (n <= 0) return;
+    if (n < 0 && errno == EINTR) continue;  // a signal is not a short write
+    if (n <= 0) return false;  // peer gone or SO_SNDTIMEO fired
     off += static_cast<std::size_t>(n);
   }
+  return true;
+}
+
+/// Case-insensitive Content-Length scan over the request head. Returns 0
+/// when absent or unparsable — only a positive declared body is rejected.
+std::size_t declared_body_bytes(const std::string& head) {
+  std::string lower(head.size(), '\0');
+  for (std::size_t i = 0; i < head.size(); ++i)
+    lower[i] = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(head[i])));
+  const std::size_t at = lower.find("content-length:");
+  if (at == std::string::npos) return 0;
+  std::size_t i = at + sizeof("content-length:") - 1;
+  while (i < lower.size() && (lower[i] == ' ' || lower[i] == '\t')) ++i;
+  std::size_t value = 0;
+  bool any = false;
+  while (i < lower.size() && lower[i] >= '0' && lower[i] <= '9') {
+    value = value * 10 + static_cast<std::size_t>(lower[i] - '0');
+    any = true;
+    ++i;
+  }
+  return any ? value : 0;
 }
 
 }  // namespace
 
 bool HttpServer::start(std::uint16_t port, HttpHandler handler,
-                       std::string* error) {
+                       std::string* error, HttpServerConfig config) {
   auto fail = [error](const std::string& what) {
     if (error) *error = what + ": " + std::strerror(errno);
     return false;
@@ -83,6 +111,8 @@ bool HttpServer::start(std::uint16_t port, HttpHandler handler,
   port_ = ntohs(addr.sin_port);
 
   handler_ = std::move(handler);
+  config_ = config;
+  if (config_.max_request_bytes == 0) config_.max_request_bytes = 8192;
   requests_.store(0, std::memory_order_relaxed);
   listen_fd_ = fd;
   thread_ = std::thread([this] { serve_loop(); });
@@ -113,42 +143,83 @@ void HttpServer::serve_loop() {
 }
 
 void HttpServer::handle_connection(int fd) {
-  // A stalled client must not wedge the accept thread forever.
+  // A stalled peer must not wedge the accept thread forever, in either
+  // direction.
   timeval tv{};
-  tv.tv_sec = 5;
+  tv.tv_sec = config_.recv_timeout_ms / 1000;
+  tv.tv_usec = (config_.recv_timeout_ms % 1000) * 1000;
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  timeval stv{};
+  stv.tv_sec = config_.send_timeout_ms / 1000;
+  stv.tv_usec = (config_.send_timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &stv, sizeof stv);
 
   std::string request;
   char buf[1024];
-  while (request.size() < kMaxRequestBytes &&
-         request.find("\r\n\r\n") == std::string::npos &&
-         request.find('\n') == std::string::npos) {
+  bool complete = false;
+  bool oversized = false;
+  bool timed_out = false;
+  while (!complete) {
+    if (request.find("\r\n\r\n") != std::string::npos ||
+        request.find("\n\n") != std::string::npos) {
+      complete = true;  // full request head
+      break;
+    }
+    // Tolerate bare single-line requests ("GET /x\n" from a hand-rolled
+    // probe): one complete line and nothing after it is a whole request.
+    const std::size_t nl = request.find('\n');
+    if (nl != std::string::npos && nl == request.size() - 1) {
+      complete = true;
+      break;
+    }
+    if (request.size() >= config_.max_request_bytes) {
+      oversized = true;
+      break;
+    }
     const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
-    if (n <= 0) break;
-    request.append(buf, static_cast<std::size_t>(n));
+    if (n > 0) {
+      request.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      timed_out = true;  // slow loris: stalled mid-request
+      break;
+    }
+    break;  // EOF (or hard error): parse whatever arrived
   }
 
   HttpResponse resp;
-  const std::size_t line_end = request.find('\r');
-  const std::string line =
-      request.substr(0, line_end == std::string::npos ? request.find('\n')
-                                                      : line_end);
-  std::istringstream parse(line);
-  std::string method, path, version;
-  parse >> method >> path >> version;
-  if (method.empty() || path.empty()) {
+  if (oversized) {
+    resp = {431, "text/plain; charset=utf-8", "request head too large\n"};
+  } else if (timed_out && !complete) {
+    resp = {408, "text/plain; charset=utf-8", "request timed out\n"};
+  } else if (request.find('\0') != std::string::npos) {
     resp = {400, "text/plain; charset=utf-8", "bad request\n"};
-  } else if (method != "GET") {
-    resp = {405, "text/plain; charset=utf-8", "method not allowed\n"};
+  } else if (declared_body_bytes(request) > 0) {
+    resp = {413, "text/plain; charset=utf-8", "request bodies not accepted\n"};
   } else {
-    // Handlers see the path without the query string.
-    const std::size_t q = path.find('?');
-    if (q != std::string::npos) path.resize(q);
-    try {
-      resp = handler_(path);
-    } catch (const std::exception& e) {
-      resp = {500, "text/plain; charset=utf-8",
-              std::string("internal error: ") + e.what() + "\n"};
+    const std::size_t line_end = request.find('\r');
+    const std::string line =
+        request.substr(0, line_end == std::string::npos ? request.find('\n')
+                                                        : line_end);
+    std::istringstream parse(line);
+    std::string method, path, version;
+    parse >> method >> path >> version;
+    if (method.empty() || path.empty()) {
+      resp = {400, "text/plain; charset=utf-8", "bad request\n"};
+    } else if (method != "GET") {
+      resp = {405, "text/plain; charset=utf-8", "method not allowed\n"};
+    } else {
+      // Handlers see the path without the query string.
+      const std::size_t q = path.find('?');
+      if (q != std::string::npos) path.resize(q);
+      try {
+        resp = handler_(path);
+      } catch (const std::exception& e) {
+        resp = {500, "text/plain; charset=utf-8",
+                std::string("internal error: ") + e.what() + "\n"};
+      }
     }
   }
 

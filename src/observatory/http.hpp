@@ -27,6 +27,17 @@ struct HttpResponse {
 /// accept thread; must synchronize with the rest of the process itself.
 using HttpHandler = std::function<HttpResponse(const std::string& path)>;
 
+/// Parsing limits for one request. A public endpoint-shaped daemon must
+/// bound what a client can make it buffer: oversized request heads get
+/// 431, a slow-loris that stalls mid-request gets 408 when the receive
+/// timeout fires, requests carrying a body get 413 — all explicit 4xx
+/// replies instead of a silent close.
+struct HttpServerConfig {
+  int recv_timeout_ms = 5000;  ///< SO_RCVTIMEO; a stalled client gets 408
+  int send_timeout_ms = 5000;  ///< SO_SNDTIMEO; a stalled reader is dropped
+  std::size_t max_request_bytes = 8192;  ///< request-head cap (431 beyond)
+};
+
 class HttpServer {
  public:
   HttpServer() = default;
@@ -39,7 +50,7 @@ class HttpServer {
   /// starts the accept thread. Returns false with `*error` set when the
   /// socket can't be bound. Calling start() twice without stop() fails.
   bool start(std::uint16_t port, HttpHandler handler,
-             std::string* error = nullptr);
+             std::string* error = nullptr, HttpServerConfig config = {});
 
   /// Stops accepting, joins the accept thread. Idempotent.
   void stop();
@@ -59,6 +70,7 @@ class HttpServer {
   void handle_connection(int fd);
 
   HttpHandler handler_;
+  HttpServerConfig config_;
   std::thread thread_;
   std::atomic<std::uint64_t> requests_{0};
   int listen_fd_ = -1;

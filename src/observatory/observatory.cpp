@@ -4,6 +4,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "observatory/ingest.hpp"
 #include "sim/network.hpp"
 
 namespace cgn::observatory {
@@ -55,11 +56,11 @@ void render_window_json(std::ostream& os, const WindowTally& w) {
 Observatory::Observatory(const netcore::RoutingTable& routes,
                          const netcore::AsRegistry& registry,
                          ObservatoryConfig config)
-    : registry_(registry),
+    : routes_(routes),
+      registry_(registry),
       config_(config),
       started_(std::chrono::steady_clock::now()),
-      bt_(routes),
-      nz_(routes),
+      main_(routes),
       events_counter_(obs::counter("observatory.events")),
       leaks_counter_(obs::counter("observatory.leaks")),
       sessions_counter_(obs::counter("observatory.sessions")),
@@ -68,8 +69,8 @@ Observatory::Observatory(const netcore::RoutingTable& routes,
   auto& reg = obs::MetricsRegistry::global();
   reg.register_probe(kIngestLagProbe, [this] {
     std::lock_guard<std::mutex> lock(mu_);
-    return stream_total_ > ingested_
-               ? static_cast<double>(stream_total_ - ingested_)
+    return main_.announced > main_.ingested
+               ? static_cast<double>(main_.announced - main_.ingested)
                : 0.0;
   });
   reg.register_probe(kHttpRequestsProbe, [this] {
@@ -78,6 +79,7 @@ Observatory::Observatory(const netcore::RoutingTable& routes,
 }
 
 Observatory::~Observatory() {
+  stop_ingest();
   stop_serving();
   auto& reg = obs::MetricsRegistry::global();
   reg.unregister_probe(kIngestLagProbe);
@@ -100,55 +102,103 @@ void Observatory::roll_window_locked(double t) {
   window_open_ = true;
 }
 
-void Observatory::ingest(const StreamEvent& event) {
-  std::lock_guard<std::mutex> lock(mu_);
+void Observatory::ingest_into_locked(Channel& ch, const StreamEvent& event) {
   roll_window_locked(event.time);
   virtual_time_ = std::max(virtual_time_, event.time);
-  ++ingested_;
+  ++ch.ingested;
   ++current_window_.events;
   events_counter_.inc();
   switch (event.kind) {
     case StreamEvent::Kind::bt_queried:
-      bt_.note_queried(event.contact);
+      ch.bt.note_queried(event.contact);
       ++current_window_.bt_contacts;
       break;
     case StreamEvent::Kind::bt_learned:
-      bt_.note_learned(event.contact);
+      ch.bt.note_learned(event.contact);
       ++current_window_.bt_contacts;
       break;
     case StreamEvent::Kind::bt_ping_response:
-      bt_.note_ping_response(event.contact);
+      ch.bt.note_ping_response(event.contact);
       ++current_window_.bt_contacts;
       break;
     case StreamEvent::Kind::bt_leak:
-      bt_.note_leak(event.contact, event.internal);
+      ch.bt.note_leak(event.contact, event.internal);
       ++current_window_.leaks;
       leaks_counter_.inc();
       break;
     case StreamEvent::Kind::nz_session:
-      nz_.ingest(event.session);
+      ch.nz.ingest(event.session);
       if (event.session.transition)
-        transition_sessions_.push_back(event.session);
+        ch.transition_sessions.push_back(event.session);
       ++current_window_.sessions;
       sessions_counter_.inc();
       break;
   }
 }
 
+void Observatory::ingest(const StreamEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ingest_into_locked(main_, event);
+}
+
 void Observatory::add_stream_total(std::uint64_t n) {
   std::lock_guard<std::mutex> lock(mu_);
-  stream_total_ += n;
+  main_.announced += n;
 }
 
 void Observatory::note_stream_done() {
   std::lock_guard<std::mutex> lock(mu_);
-  stream_done_ = true;
+  main_.done = true;
 }
 
 void Observatory::note_campaign_report(const std::string& kind,
                                        const super::CampaignReport& report) {
   std::lock_guard<std::mutex> lock(mu_);
-  reports_[kind] = report;
+  main_.reports[kind] = report;
+}
+
+Observatory::Channel& Observatory::push_channel_locked(
+    const std::string& campaign) {
+  auto it = push_.find(campaign);
+  if (it == push_.end())
+    it = push_.emplace(campaign, std::make_unique<Channel>(routes_)).first;
+  return *it->second;
+}
+
+const Observatory::Channel* Observatory::find_push_locked(
+    const std::string& campaign) const {
+  const auto it = push_.find(campaign);
+  return it == push_.end() ? nullptr : it->second.get();
+}
+
+void Observatory::ingest(const std::string& campaign,
+                         const StreamEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ingest_into_locked(push_channel_locked(campaign), event);
+}
+
+void Observatory::set_stream_total(const std::string& campaign,
+                                   std::uint64_t total) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Channel& ch = push_channel_locked(campaign);
+  ch.announced = std::max(ch.announced, total);
+}
+
+void Observatory::note_stream_done(const std::string& campaign) {
+  std::lock_guard<std::mutex> lock(mu_);
+  push_channel_locked(campaign).done = true;
+}
+
+void Observatory::note_campaign_report(const std::string& campaign,
+                                       const std::string& kind,
+                                       const super::CampaignReport& report) {
+  std::lock_guard<std::mutex> lock(mu_);
+  push_channel_locked(campaign).reports[kind] = report;
+}
+
+void Observatory::drop_campaign(const std::string& campaign) {
+  std::lock_guard<std::mutex> lock(mu_);
+  push_.erase(campaign);
 }
 
 void Observatory::capture_trace(const obs::TraceRing& ring) {
@@ -170,38 +220,50 @@ void Observatory::capture_trace(const obs::TraceRing& ring) {
 
 std::uint64_t Observatory::events_ingested() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return ingested_;
+  return main_.ingested;
 }
 
 std::uint64_t Observatory::stream_total() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stream_total_;
+  return main_.announced;
 }
 
 bool Observatory::stream_done() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stream_done_;
+  return main_.done;
+}
+
+std::uint64_t Observatory::events_ingested(const std::string& campaign) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Channel* ch = find_push_locked(campaign);
+  return ch ? ch->ingested : 0;
+}
+
+bool Observatory::stream_done(const std::string& campaign) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Channel* ch = find_push_locked(campaign);
+  return ch != nullptr && ch->done;
 }
 
 analysis::BtDetectionResult Observatory::bt_snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return bt_.snapshot();
+  return main_.bt.snapshot();
 }
 
 analysis::NetalyzrDetectionResult Observatory::nz_snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return nz_.snapshot();
+  return main_.nz.snapshot();
 }
 
 analysis::CoverageResult Observatory::coverage_snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   analysis::CoverageResult cov = analysis::combine_coverage(
-      bt_.snapshot(), nz_.snapshot(), registry_);
-  const auto bt_it = reports_.find("crawl_ping");
-  const auto nz_it = reports_.find("netalyzr");
+      main_.bt.snapshot(), main_.nz.snapshot(), registry_);
+  const auto bt_it = main_.reports.find("crawl_ping");
+  const auto nz_it = main_.reports.find("netalyzr");
   analysis::note_supervision(
-      cov, bt_it == reports_.end() ? nullptr : &bt_it->second,
-      nz_it == reports_.end() ? nullptr : &nz_it->second);
+      cov, bt_it == main_.reports.end() ? nullptr : &bt_it->second,
+      nz_it == main_.reports.end() ? nullptr : &nz_it->second);
   return cov;
 }
 
@@ -209,7 +271,7 @@ analysis::TransitionDetectionResult Observatory::transition_snapshot() const {
   std::vector<netalyzr::SessionResult> sessions;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    sessions = transition_sessions_;
+    sessions = main_.transition_sessions;
   }
   // The detector's aggregates are order-independent (counts + sorted
   // quantiles), so a stream prefix scores exactly like the same sessions
@@ -217,26 +279,49 @@ analysis::TransitionDetectionResult Observatory::transition_snapshot() const {
   return analysis::TransitionDetector().analyze(sessions);
 }
 
-std::map<std::string, analysis::Figures> Observatory::figure_sets() const {
+std::map<std::string, analysis::Figures> Observatory::figure_sets_locked(
+    const Channel& ch) const {
   std::map<std::string, analysis::Figures> sets;
-  // Each snapshot locks on its own; the sets need not be a single
-  // atomic cut — each one individually is exact for some stream prefix.
-  sets["fig04_clusters"] = analysis::fig04_figures(bt_snapshot());
-  sets["fig05_netalyzr_candidates"] = analysis::fig05_figures(nz_snapshot());
-  sets["tab05_coverage"] = analysis::tab05_figures(coverage_snapshot());
+  sets["fig04_clusters"] = analysis::fig04_figures(ch.bt.snapshot());
+  sets["fig05_netalyzr_candidates"] =
+      analysis::fig05_figures(ch.nz.snapshot());
+  {
+    analysis::CoverageResult cov = analysis::combine_coverage(
+        ch.bt.snapshot(), ch.nz.snapshot(), registry_);
+    const auto bt_it = ch.reports.find("crawl_ping");
+    const auto nz_it = ch.reports.find("netalyzr");
+    analysis::note_supervision(
+        cov, bt_it == ch.reports.end() ? nullptr : &bt_it->second,
+        nz_it == ch.reports.end() ? nullptr : &nz_it->second);
+    sets["tab05_coverage"] = analysis::tab05_figures(cov);
+  }
   // Served only once transition-battery sessions appear, so v4-only
   // campaigns keep their historical /figures byte-shape.
-  const analysis::TransitionDetectionResult tr = transition_snapshot();
+  const analysis::TransitionDetectionResult tr =
+      analysis::TransitionDetector().analyze(ch.transition_sessions);
   if (tr.observed_sessions > 0)
     sets["fig14_transition"] = analysis::fig14_figures(tr);
   return sets;
 }
 
-void Observatory::render_figures_json(std::ostream& os) const {
-  const auto sets = figure_sets();
+std::map<std::string, analysis::Figures> Observatory::figure_sets() const {
   std::lock_guard<std::mutex> lock(mu_);
-  os << "{\"stream_done\":" << (stream_done_ ? "true" : "false")
-     << ",\"events_ingested\":" << ingested_ << ",\"figure_sets\":{";
+  return figure_sets_locked(main_);
+}
+
+std::map<std::string, analysis::Figures> Observatory::figure_sets(
+    const std::string& campaign) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Channel* ch = find_push_locked(campaign);
+  return ch ? figure_sets_locked(*ch)
+            : std::map<std::string, analysis::Figures>{};
+}
+
+void Observatory::render_figures_locked(std::ostream& os,
+                                        const Channel& ch) const {
+  const auto sets = figure_sets_locked(ch);
+  os << "{\"stream_done\":" << (ch.done ? "true" : "false")
+     << ",\"events_ingested\":" << ch.ingested << ",\"figure_sets\":{";
   bool first = true;
   for (const auto& [name, figures] : sets) {
     if (!first) os << ',';
@@ -247,6 +332,11 @@ void Observatory::render_figures_json(std::ostream& os) const {
     os << '}';
   }
   os << "}}";
+}
+
+void Observatory::render_figures_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  render_figures_locked(os, main_);
 }
 
 void Observatory::render_health_json(std::ostream& os) const {
@@ -260,16 +350,17 @@ void Observatory::render_health_locked(std::ostream& os) const {
                                     started_)
           .count();
   const auto old_precision = os.precision(12);
-  os << "{\"status\":\"" << (stream_done_ ? "complete" : "streaming")
+  os << "{\"status\":\"" << (main_.done ? "complete" : "streaming")
      << "\",\"uptime_s\":" << uptime << ",\"window_s\":" << config_.window_s
      << ",\"virtual_time_s\":" << virtual_time_;
-  os << ",\"ingest\":{\"announced\":" << stream_total_
-     << ",\"ingested\":" << ingested_ << ",\"lag\":"
-     << (stream_total_ > ingested_ ? stream_total_ - ingested_ : 0)
-     << ",\"done\":" << (stream_done_ ? "true" : "false")
-     << ",\"bt_events\":" << bt_.events_ingested()
-     << ",\"leaks\":" << bt_.leaks_ingested()
-     << ",\"sessions\":" << nz_.sessions_ingested() << '}';
+  os << ",\"ingest\":{\"announced\":" << main_.announced
+     << ",\"ingested\":" << main_.ingested << ",\"lag\":"
+     << (main_.announced > main_.ingested ? main_.announced - main_.ingested
+                                          : 0)
+     << ",\"done\":" << (main_.done ? "true" : "false")
+     << ",\"bt_events\":" << main_.bt.events_ingested()
+     << ",\"leaks\":" << main_.bt.leaks_ingested()
+     << ",\"sessions\":" << main_.nz.sessions_ingested() << '}';
   os << ",\"windows\":{\"closed\":" << windows_closed_ << ",\"current\":";
   if (window_open_)
     render_window_json(os, current_window_);
@@ -283,14 +374,38 @@ void Observatory::render_health_locked(std::ostream& os) const {
   os << "]}";
   os << ",\"campaigns\":{";
   bool first = true;
-  for (const auto& [kind, report] : reports_) {
+  for (const auto& [kind, report] : main_.reports) {
     if (!first) os << ',';
     first = false;
     obs::json_escape(os, kind);
     os << ':';
     render_campaign_json(os, report);
   }
-  os << "},\"http_requests\":" << server_.requests_served() << '}';
+  os << '}';
+  // The push block appears only when an ingest listener is attached, so a
+  // driver-fed daemon's /health keeps its historical byte shape.
+  if (ingest_) {
+    const IngestStats st = ingest_->stats();
+    os << ",\"push\":{\"queue_depth\":" << st.queue_depth
+       << ",\"queue_capacity\":" << ingest_->config().queue_capacity
+       << ",\"max_queue_depth\":" << st.max_queue_depth
+       << ",\"parks\":" << st.parks << ",\"shed_total\":" << st.shed_total
+       << ",\"rejected_total\":" << st.rejected_total()
+       << ",\"events_replayed\":" << st.events_replayed
+       << ",\"connections\":" << st.connections << ",\"campaigns\":{";
+    bool first_push = true;
+    for (const auto& [name, ch] : push_) {
+      if (!first_push) os << ',';
+      first_push = false;
+      obs::json_escape(os, name);
+      os << ":{\"announced\":" << ch->announced
+         << ",\"ingested\":" << ch->ingested << ",\"lag\":"
+         << (ch->announced > ch->ingested ? ch->announced - ch->ingested : 0)
+         << ",\"done\":" << (ch->done ? "true" : "false") << '}';
+    }
+    os << "}}";
+  }
+  os << ",\"http_requests\":" << server_.requests_served() << '}';
   os.precision(old_precision);
 }
 
@@ -337,6 +452,36 @@ bool Observatory::serve(std::uint16_t port, std::string* error) {
 
 void Observatory::stop_serving() { server_.stop(); }
 
+bool Observatory::serve_ingest(std::uint16_t port, const IngestConfig& config,
+                               std::string* error) {
+  if (ingest_) {
+    if (error) *error = "ingest already serving";
+    return false;
+  }
+  auto server = std::make_unique<IngestServer>(*this, config);
+  if (!server->start(port, error)) return false;
+  ingest_ = std::move(server);
+  return true;
+}
+
+bool Observatory::serve_ingest(std::uint16_t port, std::string* error) {
+  return serve_ingest(port, IngestConfig{}, error);
+}
+
+void Observatory::stop_ingest() {
+  if (!ingest_) return;
+  ingest_->stop();
+  ingest_.reset();
+}
+
+bool Observatory::ingest_serving() const noexcept {
+  return ingest_ != nullptr && ingest_->running();
+}
+
+std::uint16_t Observatory::ingest_port() const noexcept {
+  return ingest_ ? ingest_->port() : 0;
+}
+
 HttpResponse Observatory::handle(const std::string& path) const {
   std::ostringstream body;
   if (path == "/metrics") {
@@ -345,6 +490,16 @@ HttpResponse Observatory::handle(const std::string& path) const {
   }
   if (path == "/figures") {
     render_figures_json(body);
+    body << '\n';
+    return {200, "application/json", body.str()};
+  }
+  if (path.rfind("/figures/", 0) == 0) {
+    const std::string campaign = path.substr(sizeof("/figures/") - 1);
+    std::lock_guard<std::mutex> lock(mu_);
+    const Channel* ch = find_push_locked(campaign);
+    if (ch == nullptr)
+      return {404, "text/plain; charset=utf-8", "no such campaign\n"};
+    render_figures_locked(body, *ch);
     body << '\n';
     return {200, "application/json", body.str()};
   }
@@ -360,10 +515,11 @@ HttpResponse Observatory::handle(const std::string& path) const {
   }
   if (path == "/") {
     body << "cgn observatory\n"
-            "  GET /metrics  Prometheus text exposition\n"
-            "  GET /figures  bench figure sets (JSON)\n"
-            "  GET /health   ingest/window/campaign status (JSON)\n"
-            "  GET /trace    latest hop-trace window (JSON)\n";
+            "  GET /metrics          Prometheus text exposition\n"
+            "  GET /figures          bench figure sets (JSON)\n"
+            "  GET /figures/<name>   a push campaign's figure sets (JSON)\n"
+            "  GET /health           ingest/window/campaign status (JSON)\n"
+            "  GET /trace            latest hop-trace window (JSON)\n";
     return {200, "text/plain; charset=utf-8", body.str()};
   }
   return {404, "text/plain; charset=utf-8", "not found\n"};

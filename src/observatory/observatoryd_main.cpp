@@ -17,6 +17,14 @@
 //                           drill; exits 3 on the resulting abort)
 //   --exit-after-stream     exit once the stream completes instead of
 //                           serving forever
+//   --ingest-port N         also listen for push-ingestion connections
+//                           (cgn_feeder / PushClient; 0 = ephemeral;
+//                           default CGN_OBSERVATORY_INGEST_PORT, unset =
+//                           no ingest listener)
+//   --ingest-queue N        bounded ingest queue capacity (default 4096)
+//   --no-stream             skip the in-process StreamDriver: the daemon
+//                           builds the world (the detectors need its
+//                           routes) and serves push campaigns only
 //
 // Exit codes: 0 stream complete, 2 usage/bind error, 3 campaign aborted
 // (kill-switch or watchdog; rerun with the same CGN_SUPER_CHECKPOINT_DIR
@@ -29,6 +37,7 @@
 #include <string>
 #include <thread>
 
+#include "observatory/ingest.hpp"
 #include "observatory/observatory.hpp"
 #include "observatory/stream_driver.hpp"
 #include "scenario/env_config.hpp"
@@ -39,7 +48,8 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--port N] [--window S] [--pace-us N]\n"
-               "          [--abort-after-shards N] [--exit-after-stream]\n",
+               "          [--abort-after-shards N] [--exit-after-stream]\n"
+               "          [--ingest-port N] [--ingest-queue N] [--no-stream]\n",
                argv0);
   return 2;
 }
@@ -55,7 +65,14 @@ int main(int argc, char** argv) {
   obs_cfg.window_s = scenario::env_double("CGN_OBSERVATORY_WINDOW_S", 3600.0);
   std::size_t abort_after_shards = 0;
   bool exit_after_stream = false;
+  bool no_stream = false;
   int pace_us = 0;
+  bool ingest_enabled = false;
+  auto ingest_port = static_cast<std::uint16_t>(
+      scenario::env_u64("CGN_OBSERVATORY_INGEST_PORT", 0));
+  if (std::getenv("CGN_OBSERVATORY_INGEST_PORT") != nullptr)
+    ingest_enabled = true;
+  observatory::IngestConfig ingest_cfg;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -80,6 +97,17 @@ int main(int argc, char** argv) {
       abort_after_shards = static_cast<std::size_t>(std::atoll(v));
     } else if (arg == "--exit-after-stream") {
       exit_after_stream = true;
+    } else if (arg == "--ingest-port") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      ingest_port = static_cast<std::uint16_t>(std::atoi(v));
+      ingest_enabled = true;
+    } else if (arg == "--ingest-queue") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      ingest_cfg.queue_capacity = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--no-stream") {
+      no_stream = true;
     } else {
       return usage(argv[0]);
     }
@@ -112,20 +140,34 @@ int main(int argc, char** argv) {
               static_cast<unsigned>(obs.port()));
   std::fflush(stdout);
 
-  try {
-    driver.run(obs);
-  } catch (const super::CampaignAborted& e) {
-    std::fprintf(stderr,
-                 "observatory: campaign aborted: %s (rerun with the same "
-                 "CGN_SUPER_CHECKPOINT_DIR to resume)\n",
-                 e.what());
-    return 3;
+  if (ingest_enabled) {
+    if (!obs.serve_ingest(ingest_port, ingest_cfg, &error)) {
+      std::fprintf(stderr, "observatory: cannot serve ingest: %s\n",
+                   error.c_str());
+      return 2;
+    }
+    // Parsed by scripts too — same shape as the HTTP announce line.
+    std::printf("observatory: ingest on 127.0.0.1:%u\n",
+                static_cast<unsigned>(obs.ingest_port()));
+    std::fflush(stdout);
   }
 
-  std::printf("observatory: stream complete (%llu events)\n",
-              static_cast<unsigned long long>(driver.events_emitted()));
-  std::fflush(stdout);
+  if (!no_stream) {
+    try {
+      driver.run(obs);
+    } catch (const super::CampaignAborted& e) {
+      std::fprintf(stderr,
+                   "observatory: campaign aborted: %s (rerun with the same "
+                   "CGN_SUPER_CHECKPOINT_DIR to resume)\n",
+                   e.what());
+      return 3;
+    }
 
-  if (exit_after_stream) return 0;
+    std::printf("observatory: stream complete (%llu events)\n",
+                static_cast<unsigned long long>(driver.events_emitted()));
+    std::fflush(stdout);
+
+    if (exit_after_stream) return 0;
+  }
   for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
 }

@@ -12,22 +12,22 @@ StreamDriver::StreamDriver(StreamDriverConfig config)
     : config_(std::move(config)),
       bt_world_(scenario::build_internet(config_.world)) {}
 
-void StreamDriver::emit(Observatory& obs, std::vector<StreamEvent> events,
+void StreamDriver::emit(EventSink& sink, std::vector<StreamEvent> events,
                         double t_begin, double t_end) {
   if (events.empty()) return;
-  obs.add_stream_total(events.size());
+  sink.add_stream_total(events.size());
   const double span = t_end > t_begin ? t_end - t_begin : 0.0;
   const auto n = static_cast<double>(events.size());
   for (std::size_t i = 0; i < events.size(); ++i) {
     events[i].time = t_begin + span * (static_cast<double>(i + 1) / n);
-    obs.ingest(events[i]);
+    sink.ingest(events[i]);
     if (config_.pace_us > 0)
       std::this_thread::sleep_for(std::chrono::microseconds(config_.pace_us));
   }
   emitted_ += events.size();
 }
 
-void StreamDriver::run(Observatory& obs) {
+void StreamDriver::run(EventSink& sink) {
   double virtual_end = 0.0;
 
   if (config_.run_bt) {
@@ -38,10 +38,10 @@ void StreamDriver::run(Observatory& obs) {
     world.net.set_hop_trace(&ring);
     scenario::run_bittorrent_phase(world, config_.bt_phase);
     world.net.set_hop_trace(nullptr);
-    obs.capture_trace(ring);
+    sink.capture_trace(ring);
 
     crawler_ = scenario::run_crawl_phase(world, config_.crawl, &bt_report_);
-    obs.note_campaign_report("crawl_ping", bt_report_);
+    sink.note_campaign_report("crawl_ping", bt_report_);
 
     const crawler::CrawlDataset& data = crawler_->dataset();
     std::vector<StreamEvent> events;
@@ -68,7 +68,7 @@ void StreamDriver::run(Observatory& obs) {
       events.push_back(std::move(e));
     }
     virtual_end = world.clock.now();
-    emit(obs, std::move(events), 0.0, virtual_end);
+    emit(sink, std::move(events), 0.0, virtual_end);
   }
 
   if (config_.run_netalyzr) {
@@ -83,7 +83,7 @@ void StreamDriver::run(Observatory& obs) {
     const std::vector<netalyzr::SessionResult> sessions =
         scenario::run_netalyzr_campaign(*world, config_.netalyzr,
                                         &nz_report_);
-    obs.note_campaign_report("netalyzr", nz_report_);
+    sink.note_campaign_report("netalyzr", nz_report_);
 
     std::vector<StreamEvent> events;
     events.reserve(sessions.size());
@@ -95,11 +95,11 @@ void StreamDriver::run(Observatory& obs) {
     }
     // Netalyzr virtual times continue after the crawl's on the shared
     // stream axis.
-    emit(obs, std::move(events), virtual_end,
+    emit(sink, std::move(events), virtual_end,
          virtual_end + world->clock.now());
   }
 
-  obs.note_stream_done();
+  sink.note_stream_done();
 }
 
 }  // namespace cgn::observatory

@@ -71,9 +71,11 @@ class StreamDriver {
   }
 
   /// Runs the configured campaigns and streams every observation into
-  /// `obs`. Throws super::CampaignAborted when a campaign kill-switch or
-  /// watchdog fires (already-ingested events stay in the observatory).
-  void run(Observatory& obs);
+  /// `sink` — an in-process Observatory or a PushClient framing the same
+  /// events onto a socket. Throws super::CampaignAborted when a campaign
+  /// kill-switch or watchdog fires (already-ingested events stay in the
+  /// sink).
+  void run(EventSink& sink);
 
   [[nodiscard]] std::uint64_t events_emitted() const noexcept {
     return emitted_;
@@ -86,7 +88,7 @@ class StreamDriver {
   }
 
  private:
-  void emit(Observatory& obs, std::vector<StreamEvent> events, double t_begin,
+  void emit(EventSink& sink, std::vector<StreamEvent> events, double t_begin,
             double t_end);
 
   StreamDriverConfig config_;

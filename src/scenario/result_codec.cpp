@@ -1,0 +1,132 @@
+#include "scenario/result_codec.hpp"
+
+#include <algorithm>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace cgn::scenario::codec {
+
+void put_endpoint(super::wire::Writer& w, const netcore::Endpoint& ep) {
+  w.u32(ep.address.value());
+  w.u16(ep.port);
+}
+
+netcore::Endpoint get_endpoint(super::wire::Reader& r) {
+  const std::uint32_t address = r.u32();
+  const std::uint16_t port = r.u16();
+  return {netcore::Ipv4Address(address), port};
+}
+
+void put_session(super::wire::Writer& w, const netalyzr::SessionResult& s) {
+  w.u32(s.asn);
+  w.boolean(s.cellular);
+  w.u8(static_cast<std::uint8_t>(s.line_mode));
+  w.boolean(s.line_clat);
+  w.u32(s.ip_dev.value());
+  w.boolean(s.ip_cpe.has_value());
+  if (s.ip_cpe) w.u32(s.ip_cpe->value());
+  w.boolean(s.cpe_model.has_value());
+  if (s.cpe_model) w.str(*s.cpe_model);
+  w.boolean(s.ip_pub.has_value());
+  if (s.ip_pub) w.u32(s.ip_pub->value());
+  w.u32(static_cast<std::uint32_t>(s.tcp_flows.size()));
+  for (const netalyzr::FlowObservation& f : s.tcp_flows) {
+    w.u16(f.local_port);
+    put_endpoint(w, f.observed);
+  }
+  w.boolean(s.stun.has_value());
+  if (s.stun) {
+    w.u8(static_cast<std::uint8_t>(s.stun->type));
+    w.boolean(s.stun->mapped.has_value());
+    if (s.stun->mapped) put_endpoint(w, *s.stun->mapped);
+  }
+  w.boolean(s.enumeration.has_value());
+  if (s.enumeration) {
+    w.u32(static_cast<std::uint32_t>(s.enumeration->path_hops));
+    w.u32(static_cast<std::uint32_t>(s.enumeration->hops.size()));
+    for (const netalyzr::NatHopObservation& h : s.enumeration->hops) {
+      w.u32(static_cast<std::uint32_t>(h.hop));
+      w.boolean(h.stateful);
+      w.boolean(h.timeout_s.has_value());
+      if (h.timeout_s) w.f64(*h.timeout_s);
+    }
+    w.u32(static_cast<std::uint32_t>(s.enumeration->experiments));
+  }
+  w.boolean(s.transition.has_value());
+  if (s.transition) {
+    w.boolean(s.transition->pref64_detected);
+    w.u32(static_cast<std::uint32_t>(s.transition->pref64_length));
+    w.boolean(s.transition->literal_v4_ok);
+    w.boolean(s.transition->translator_timeout_s.has_value());
+    if (s.transition->translator_timeout_s)
+      w.f64(*s.transition->translator_timeout_s);
+  }
+}
+
+netalyzr::SessionResult get_session(super::wire::Reader& r) {
+  netalyzr::SessionResult s;
+  s.asn = r.u32();
+  s.cellular = r.boolean();
+  s.line_mode = static_cast<nat::TranslatorMode>(r.u8());
+  s.line_clat = r.boolean();
+  s.ip_dev = netcore::Ipv4Address(r.u32());
+  if (r.boolean()) s.ip_cpe = netcore::Ipv4Address(r.u32());
+  if (r.boolean()) s.cpe_model = std::string(r.str());
+  if (r.boolean()) s.ip_pub = netcore::Ipv4Address(r.u32());
+  const std::uint32_t flows = r.u32();
+  for (std::uint32_t i = 0; i < flows && r.ok(); ++i) {
+    netalyzr::FlowObservation f;
+    f.local_port = r.u16();
+    f.observed = get_endpoint(r);
+    s.tcp_flows.push_back(f);
+  }
+  if (r.boolean()) {
+    stun::StunOutcome outcome;
+    outcome.type = static_cast<stun::StunType>(r.u8());
+    if (r.boolean()) outcome.mapped = get_endpoint(r);
+    s.stun = outcome;
+  }
+  if (r.boolean()) {
+    netalyzr::TtlEnumResult e;
+    e.path_hops = static_cast<int>(r.u32());
+    const std::uint32_t hops = r.u32();
+    for (std::uint32_t i = 0; i < hops && r.ok(); ++i) {
+      netalyzr::NatHopObservation h;
+      h.hop = static_cast<int>(r.u32());
+      h.stateful = r.boolean();
+      if (r.boolean()) h.timeout_s = r.f64();
+      e.hops.push_back(h);
+    }
+    e.experiments = static_cast<int>(r.u32());
+    s.enumeration = std::move(e);
+  }
+  if (r.boolean()) {
+    netalyzr::TransitionObservation t;
+    t.pref64_detected = r.boolean();
+    t.pref64_length = static_cast<int>(r.u32());
+    t.literal_v4_ok = r.boolean();
+    if (r.boolean()) t.translator_timeout_s = r.f64();
+    s.transition = t;
+  }
+  return s;
+}
+
+void put_contact(super::wire::Writer& w, const dht::Contact& c) {
+  w.raw(c.id.bytes().data(), c.id.bytes().size());
+  put_endpoint(w, c.endpoint);
+}
+
+dht::Contact get_contact(super::wire::Reader& r) {
+  dht::Contact c;
+  std::string_view bytes = r.raw(dht::NodeId160::Bytes{}.size());
+  if (bytes.size() == dht::NodeId160::Bytes{}.size()) {
+    dht::NodeId160::Bytes id{};
+    std::copy(bytes.begin(), bytes.end(), id.begin());
+    c.id = dht::NodeId160(id);
+  }
+  c.endpoint = get_endpoint(r);
+  return c;
+}
+
+}  // namespace cgn::scenario::codec

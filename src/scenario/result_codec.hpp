@@ -1,0 +1,33 @@
+// Shared wire codecs for campaign result structs.
+//
+// Checkpoint records (scenario/campaign.cpp) and the observatory's push
+// ingestion frames (observatory/ingest.cpp) must serialize the exact same
+// structs — SessionResult, dht::Contact, netcore::Endpoint — and must
+// round-trip them *exactly*: a resumed campaign or a push-fed observatory
+// has to reproduce byte-identical figures. Keeping one codec per struct
+// here makes that a structural property instead of two parallel encoders
+// drifting apart. Fixed-width little-endian via super::wire; decoders are
+// bounds-checked and never throw — a truncated or corrupt payload flips
+// the Reader's ok() and the caller validates once at the end.
+//
+// Bump the payload-version constants next to the *users* of these codecs
+// (campaign checkpoint versions, the ingest protocol version) when a
+// struct here changes shape.
+#pragma once
+
+#include "dht/messages.hpp"
+#include "netalyzr/session.hpp"
+#include "super/wire.hpp"
+
+namespace cgn::scenario::codec {
+
+void put_endpoint(super::wire::Writer& w, const netcore::Endpoint& ep);
+[[nodiscard]] netcore::Endpoint get_endpoint(super::wire::Reader& r);
+
+void put_session(super::wire::Writer& w, const netalyzr::SessionResult& s);
+[[nodiscard]] netalyzr::SessionResult get_session(super::wire::Reader& r);
+
+void put_contact(super::wire::Writer& w, const dht::Contact& c);
+[[nodiscard]] dht::Contact get_contact(super::wire::Reader& r);
+
+}  // namespace cgn::scenario::codec
